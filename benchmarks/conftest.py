@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series it reports, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction artifact.  ``pytest-benchmark`` measures the
+harness's real (wall-clock) runtime; the *simulated* results themselves
+are printed.
+
+Scale note: benchmarks default to a reduced-but-faithful scale (fewer
+sweep points / steps than the full figures) so the whole suite finishes
+in minutes.  Set ``REPRO_BENCH_SCALE=full`` for the full sweeps.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: reproduces a paper figure")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return "full" if FULL else "quick"
+
+
+def emit(text: str) -> None:
+    """Print a rendered table so it lands in the benchmark output."""
+    print()
+    print(text)

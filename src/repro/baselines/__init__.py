@@ -1,0 +1,11 @@
+"""Baseline systems: serverful (PyTorch-like) and PyWren-style trainers."""
+
+from .pywren_ml import PyWrenMLConfig, PyWrenMLTrainer
+from .serverful import ServerfulConfig, ServerfulTrainer
+
+__all__ = [
+    "ServerfulConfig",
+    "ServerfulTrainer",
+    "PyWrenMLConfig",
+    "PyWrenMLTrainer",
+]

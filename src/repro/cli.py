@@ -1,0 +1,115 @@
+"""Command-line entry point: run any workload on any system.
+
+Examples::
+
+    python -m repro.cli --workload pmf-ml10m --system mlless --v 0.7
+    python -m repro.cli --workload lr-criteo --system mlless --autotune
+    python -m repro.cli --workload pmf-ml20m --system serverful --workers 12
+    python -m repro.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.common import (
+    mlless_config,
+    run_mlless,
+    run_pywren_workload,
+    run_serverful_workload,
+)
+from .experiments.report import render_table
+from .experiments.settings import WORKLOADS, make_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run an MLLess-reproduction training job.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="pmf-ml10m",
+        help="which Table 1 workload to train",
+    )
+    parser.add_argument(
+        "--system", choices=["mlless", "serverful", "pywren"],
+        default="mlless", help="which system runs the job",
+    )
+    parser.add_argument("--workers", type=int, default=12,
+                        help="worker/rank pool size")
+    parser.add_argument("--v", type=float, default=0.0,
+                        help="ISP significance threshold (0 = BSP)")
+    parser.add_argument("--autotune", action="store_true",
+                        help="enable the scale-in auto-tuner")
+    parser.add_argument("--target", type=float, default=None,
+                        help="override the convergence loss target")
+    parser.add_argument("--deep", action="store_true",
+                        help="use the workload's deep target")
+    parser.add_argument("--max-steps", type=int, default=1500)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--list", action="store_true",
+                        help="list workloads and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        rows = []
+        for name in sorted(WORKLOADS):
+            wl = make_workload(name)
+            rows.append(
+                {
+                    "workload": name,
+                    "metric": wl.metric,
+                    "target": wl.target_loss,
+                    "deep_target": wl.deep_target_loss,
+                    "batch": wl.batch_size,
+                    "description": wl.description,
+                }
+            )
+        print(render_table(rows, "available workloads"))
+        return 0
+
+    workload = make_workload(args.workload)
+    target = args.target
+    if target is None:
+        target = workload.deep_target_loss if args.deep else workload.target_loss
+
+    print(
+        f"running {args.workload} on {args.system} "
+        f"(P={args.workers}, target {workload.metric}={target})..."
+    )
+    if args.system == "mlless":
+        config = mlless_config(
+            workload, n_workers=args.workers, v=args.v,
+            autotune=args.autotune, target_loss=target,
+            max_steps=args.max_steps, seed=args.seed,
+        )
+        result = run_mlless(config)
+    elif args.system == "serverful":
+        result = run_serverful_workload(
+            workload, args.workers, target_loss=target,
+            max_steps=args.max_steps, seed=args.seed,
+        )
+    else:
+        result = run_pywren_workload(
+            workload, args.workers, target_loss=target,
+            max_steps=min(args.max_steps, 60), seed=args.seed,
+        )
+
+    print(render_table([result.summary()], "result"))
+    print(render_table(
+        [{"component": k, "cost_usd": round(v, 6)}
+         for k, v in sorted(result.meter.breakdown().items())],
+        "cost breakdown",
+    ))
+    return 0 if result.converged or result.total_steps > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""MLLess core: driver, supervisor, workers, ISP filter, scale-in tuner."""
+
+from .autotuner import ScaleInScheduler, SchedulerDecision
+from .config import AutoTunerConfig, JobConfig
+from .curves import CurveFitError, ReferenceCurve, SlowCurve, prediction_error
+from .driver import MLLessDriver
+from .ewma import EWMAFilter, ewma
+from .history import RunResult, perf_per_dollar
+from .knee import KneedleDetector, SlopeKneeDetector
+from .runtime import JobRuntime, WorkerCheckpoint
+from .significance import SignificanceFilter, threshold_at
+from .ssp import ssp_supervisor_handler, ssp_worker_handler
+from .supervisor import SupervisorState, supervisor_handler
+from .worker import worker_handler
+
+__all__ = [
+    "JobConfig",
+    "AutoTunerConfig",
+    "MLLessDriver",
+    "JobRuntime",
+    "WorkerCheckpoint",
+    "RunResult",
+    "perf_per_dollar",
+    "SignificanceFilter",
+    "threshold_at",
+    "ScaleInScheduler",
+    "SchedulerDecision",
+    "ReferenceCurve",
+    "SlowCurve",
+    "CurveFitError",
+    "prediction_error",
+    "EWMAFilter",
+    "ewma",
+    "SlopeKneeDetector",
+    "KneedleDetector",
+    "supervisor_handler",
+    "worker_handler",
+    "ssp_worker_handler",
+    "ssp_supervisor_handler",
+    "SupervisorState",
+]

@@ -1,0 +1,187 @@
+"""The scale-in auto-tuner (§4.2).
+
+A pure decision engine driven by the supervisor: it observes one (step,
+completion-time, loss) triple per training step and answers "should a
+worker be removed now?".  The algorithm follows the paper:
+
+1. **Warm-up** — wait for the "knee" of the learning curve.  When found,
+   fit the reference curve ``L_P(t)`` (Eq. 2) on the smoothed loss history
+   and estimate the reference step duration ``d_P``; then remove the
+   first worker.
+2. **Steady state** — every scheduling epoch ``T``: fit the
+   slow-convergence curve ``l_p(t)`` (Eq. 3) *only on points since the
+   last removal*, estimate the current step duration ``d_p``, and remove
+   another worker iff the projected relative loss-reduction deviation at
+   horizon ``Delta`` (Eq. 1) is below the threshold ``S``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .config import AutoTunerConfig
+from .curves import CurveFitError, ReferenceCurve, SlowCurve
+from .ewma import EWMAFilter
+from .knee import KneedleDetector, SlopeKneeDetector
+
+__all__ = ["ScaleInScheduler", "SchedulerDecision"]
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """Outcome of one scheduling evaluation (for logging/tests)."""
+
+    evict: bool
+    s_delta: Optional[float] = None
+    reason: str = ""
+
+
+class ScaleInScheduler:
+    """Decides when to shrink the worker pool."""
+
+    def __init__(self, config: AutoTunerConfig, initial_workers: int):
+        if initial_workers < 1:
+            raise ValueError(f"initial_workers must be >= 1, got {initial_workers}")
+        self.config = config
+        self.initial_workers = initial_workers
+        self.current_workers = initial_workers
+
+        self._ewma = EWMAFilter(config.ewma_alpha)
+        self._steps: List[int] = []
+        self._times: List[float] = []
+        self._smoothed: List[float] = []
+        if config.knee_method == "kneedle":
+            self._knee = KneedleDetector()
+        else:
+            self._knee = SlopeKneeDetector(
+                slope_threshold=config.knee_slope_threshold,
+                patience=config.knee_patience,
+            )
+        self.knee_step: Optional[int] = None
+        self.reference: Optional[ReferenceCurve] = None
+        self.d_reference: Optional[float] = None
+        self._last_removal_step: Optional[int] = None
+        self._next_decision_time: Optional[float] = None
+        self.decisions: List[SchedulerDecision] = []
+
+    # -- observation -------------------------------------------------------
+    def observe(self, step: int, sim_time: float, loss: float) -> None:
+        """Record the mean loss of completed step ``step`` at ``sim_time``."""
+        if self._steps and step <= self._steps[-1]:
+            raise ValueError(f"steps must be increasing, got {step}")
+        self._steps.append(step)
+        self._times.append(sim_time)
+        self._smoothed.append(self._ewma.update(loss))
+
+    # -- decision -------------------------------------------------------
+    def should_evict(self, sim_time: float) -> SchedulerDecision:
+        """Evaluate the scale-in condition at ``sim_time``."""
+        if not self.config.enabled:
+            return self._record(SchedulerDecision(False, reason="disabled"))
+        if self.current_workers <= self.config.min_workers:
+            return self._record(SchedulerDecision(False, reason="at floor"))
+        if self.knee_step is None:
+            return self._maybe_pass_knee(sim_time)
+        if sim_time < (self._next_decision_time or 0.0):
+            return self._record(SchedulerDecision(False, reason="waiting epoch"))
+        return self._steady_state_decision(sim_time)
+
+    def notify_evicted(self) -> None:
+        """The supervisor confirmed a worker left the pool."""
+        self.current_workers -= 1
+        self._last_removal_step = self._steps[-1] if self._steps else 0
+
+    # -- internals -------------------------------------------------------
+    def _record(self, decision: SchedulerDecision) -> SchedulerDecision:
+        self.decisions.append(decision)
+        return decision
+
+    def _mean_step_duration(self, since_step: Optional[int] = None) -> Optional[float]:
+        times = np.asarray(self._times)
+        steps = np.asarray(self._steps)
+        if since_step is not None:
+            mask = steps > since_step
+            times = times[mask]
+        if len(times) < 2:
+            return None
+        return float(np.mean(np.diff(times)))
+
+    def _maybe_pass_knee(self, sim_time: float) -> SchedulerDecision:
+        if self.config.ignore_knee_gate and len(self._smoothed) >= 8:
+            knee = len(self._smoothed) - 1
+        else:
+            knee = self._knee.detect(self._smoothed)
+            if knee is None:
+                return self._record(SchedulerDecision(False, reason="before knee"))
+        # Fit the reference curve on the history collected so far and
+        # estimate the reference step duration.
+        steps = np.asarray(self._steps, dtype=np.float64)
+        try:
+            self.reference = ReferenceCurve.fit(
+                steps, np.asarray(self._smoothed)
+            )
+        except CurveFitError:
+            return self._record(
+                SchedulerDecision(False, reason="reference fit failed")
+            )
+        self.d_reference = self._mean_step_duration()
+        if self.d_reference is None:
+            return self._record(SchedulerDecision(False, reason="no durations"))
+        self.knee_step = self._steps[knee] if knee < len(self._steps) else self._steps[-1]
+        # First removal happens right at the knee (§4.2 "After estimation
+        # of these quantities, the scheduler removes the worker ...").
+        self._next_decision_time = sim_time + self.config.epoch_s
+        return self._record(SchedulerDecision(True, reason="knee passed"))
+
+    def _fit_slow_curve(self) -> Optional[SlowCurve]:
+        origin = self._last_removal_step or 0
+        steps = np.asarray(self._steps, dtype=np.float64)
+        mask = steps > origin
+        pts_t = steps[mask]
+        pts_y = np.asarray(self._smoothed)[mask]
+        if len(pts_t) < 5:
+            return None
+        try:
+            if self.config.slow_curve_family == "power":
+                # Ablation: reuse the reference family in the slow region.
+                ref = ReferenceCurve.fit(pts_t - origin, pts_y)
+                return SlowCurve(ref.theta, origin=origin)
+            return SlowCurve.fit(pts_t, pts_y, origin=origin)
+        except CurveFitError:
+            return None
+
+    def _steady_state_decision(self, sim_time: float) -> SchedulerDecision:
+        slow = self._fit_slow_curve()
+        if slow is None:
+            self._next_decision_time = sim_time + self.config.epoch_s
+            return self._record(SchedulerDecision(False, reason="slow fit failed"))
+        d_p = self._mean_step_duration(since_step=self._last_removal_step)
+        if d_p is None or d_p <= 0 or not self.d_reference:
+            self._next_decision_time = sim_time + self.config.epoch_s
+            return self._record(SchedulerDecision(False, reason="no durations"))
+
+        t = self._steps[-1]
+        delta = self.config.delta_s
+        step_ref = t + math.floor(delta / self.d_reference)
+        step_cur = t + math.floor(delta / d_p)
+        expected_ref = float(self.reference.predict(step_ref))
+        expected_cur = float(slow.predict(step_cur))
+        if abs(expected_ref) < 1e-12:
+            self._next_decision_time = sim_time + self.config.epoch_s
+            return self._record(SchedulerDecision(False, reason="flat reference"))
+        s_delta = (expected_ref - expected_cur) / expected_ref
+        # Eq. (1) measures the *deviation introduced by having fewer
+        # workers*: positive when the reduced pool lags the reference.
+        s_delta = -s_delta  # ref - cur < 0 when current is worse (higher loss)
+        self._next_decision_time = sim_time + self.config.epoch_s
+        if s_delta < self.config.s_threshold:
+            return self._record(
+                SchedulerDecision(True, s_delta=s_delta, reason="below threshold")
+            )
+        return self._record(
+            SchedulerDecision(False, s_delta=s_delta, reason="above threshold")
+        )

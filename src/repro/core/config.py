@@ -1,0 +1,134 @@
+"""Job configuration for MLLess training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..ml.data.dataset import Dataset
+from ..ml.models.base import Model
+from ..ml.optim.base import Optimizer
+
+__all__ = ["AutoTunerConfig", "JobConfig"]
+
+
+@dataclass(frozen=True)
+class AutoTunerConfig:
+    """Scale-in scheduler parameters (§4.2).
+
+    The paper's evaluation uses a 20 s scheduling epoch with the horizon
+    ``delta`` fixed at half the epoch (10 s), and never scales below a
+    floor of workers.
+    """
+
+    enabled: bool = False
+    #: scheduling interval T, seconds
+    epoch_s: float = 20.0
+    #: decision horizon Delta (<= epoch), seconds
+    delta_s: float = 10.0
+    #: scale-in condition: remove a worker while s_Delta(t) < S
+    s_threshold: float = 0.05
+    #: never scale below this many workers
+    min_workers: int = 2
+    #: knee detection method: "slope" (the paper's threshold heuristic)
+    #: or "kneedle" (Satopaa et al. [34], pluggable per §4.2)
+    knee_method: str = "slope"
+    #: knee detector: slope threshold relative to peak slope
+    knee_slope_threshold: float = 0.2
+    #: knee detector: consecutive flat steps required
+    knee_patience: int = 5
+    #: EWMA smoothing factor applied to losses before fitting
+    ewma_alpha: float = 0.3
+    #: ablation switch: scale in immediately, ignoring the knee gate
+    ignore_knee_gate: bool = False
+    #: curve family for the slow region: "quadratic" (Eq. 3, default) or
+    #: "power" (reuse Eq. 2) — exercised by the curve-family ablation
+    slow_curve_family: str = "quadratic"
+
+    def __post_init__(self):
+        if self.epoch_s <= 0:
+            raise ValueError(f"epoch_s must be > 0, got {self.epoch_s}")
+        if not 0 < self.delta_s <= self.epoch_s:
+            raise ValueError(
+                f"delta_s must be in (0, epoch_s], got {self.delta_s}"
+            )
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.slow_curve_family not in ("quadratic", "power"):
+            raise ValueError(
+                f"unknown slow_curve_family {self.slow_curve_family!r}"
+            )
+        if self.knee_method not in ("slope", "kneedle"):
+            raise ValueError(f"unknown knee_method {self.knee_method!r}")
+
+
+@dataclass
+class JobConfig:
+    """Everything needed to run one MLLess training job."""
+
+    model: Model
+    #: factory, not an instance: each worker owns independent state
+    make_optimizer: Callable[[], Optimizer]
+    dataset: Dataset
+    n_workers: int
+    #: significance threshold v; 0 selects plain BSP
+    significance_v: float = 0.0
+    #: synchronization protocol: "bsp" (per-step barrier, the paper's
+    #: default) or "ssp" (Stale Synchronous Parallel [13], the relaxation
+    #: §3.1 notes is "easy enough to integrate"); the significance filter
+    #: composes with either
+    sync: str = "bsp"
+    #: SSP bound: a worker may run at most this many steps ahead of the
+    #: slowest peer
+    ssp_staleness: int = 2
+    #: stop when the (mean per-batch) training loss reaches this value
+    target_loss: Optional[float] = None
+    max_steps: int = 5000
+    #: give up after this much simulated time, seconds
+    max_time_s: float = 3600.0
+    seed: int = 0
+    autotuner: AutoTunerConfig = field(default_factory=AutoTunerConfig)
+    calibration: Calibration = DEFAULT_CALIBRATION
+    worker_memory_mb: int = 2048
+    #: reintegrate an evicted worker's replica by model averaging (the
+    #: paper's eviction policy for v > 0); ablation switch
+    reintegrate_on_evict: bool = True
+    #: simulated-time margin before the FaaS duration cap at which a
+    #: worker checkpoints its state and is relaunched as a fresh function
+    relaunch_margin_s: float = 30.0
+    #: optional factory for an alternative update filter (ablations):
+    #: called with the parameter shapes dict; None selects the paper's
+    #: SignificanceFilter(significance_v)
+    make_filter: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.significance_v < 0:
+            raise ValueError(
+                f"significance_v must be >= 0, got {self.significance_v}"
+            )
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.n_workers > len(self.dataset):
+            raise ValueError(
+                f"{self.n_workers} workers but only {len(self.dataset)} "
+                f"mini-batches; every worker needs at least one"
+            )
+        if self.sync not in ("bsp", "ssp"):
+            raise ValueError(f"unknown sync protocol {self.sync!r}")
+        if self.ssp_staleness < 0:
+            raise ValueError(
+                f"ssp_staleness must be >= 0, got {self.ssp_staleness}"
+            )
+        if self.sync == "ssp" and self.autotuner.enabled:
+            raise ValueError(
+                "the scale-in auto-tuner currently requires the BSP "
+                "barrier; disable it for SSP runs"
+            )
+
+    @property
+    def sync_model(self) -> str:
+        """"bsp" (v == 0) or "isp"."""
+        return "bsp" if self.significance_v == 0 else "isp"

@@ -1,0 +1,152 @@
+"""The MLLess driver (§3.1).
+
+Runs "on the scientist's machine": stages the dataset, provisions the two
+service VMs (messaging + Redis, the components of the MLLess bill besides
+the functions), registers the worker and supervisor functions, launches
+them, and re-invokes any activation that returns a relaunch marker after
+checkpointing at the duration cap.  Produces a
+:class:`~repro.core.history.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..faas import FaaSPlatform, FunctionSpec
+from ..pricing import CostMeter
+from ..sim import Environment
+from ..storage import Exchange
+from .config import JobConfig
+from .history import RunResult
+from .runtime import JobRuntime
+from .ssp import ssp_supervisor_handler, ssp_worker_handler
+from .supervisor import supervisor_handler
+from .worker import worker_handler
+
+__all__ = ["MLLessDriver"]
+
+#: instance types provisioned for the MLLess services (Table 2 roles)
+MESSAGING_INSTANCE = "C1.4x4"
+REDIS_INSTANCE = "M1.2x16"
+
+
+class MLLessDriver:
+    """Orchestrates one MLLess training job end to end."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: FaaSPlatform,
+        runtime: JobRuntime,
+        meter: Optional[CostMeter] = None,
+    ):
+        self.env = env
+        self.platform = platform
+        self.runtime = runtime
+        self.meter = meter if meter is not None else CostMeter()
+        if self.meter.faas is None:
+            self.meter.faas = platform.billing
+        self.result: Optional[RunResult] = None
+        self._supervisor_report: Optional[Dict[str, Any]] = None
+
+    # -- public API ---------------------------------------------------------
+    def run(self) -> RunResult:
+        """Run the whole job to completion (drives the event loop)."""
+        done = self.env.process(self.run_process(), name="mlless-driver")
+        self.env.run(until=done)
+        if not done.ok:
+            raise done.value
+        assert self.result is not None
+        return self.result
+
+    def run_process(self) -> Generator:
+        """The driver as a simulation process (for composition)."""
+        runtime = self.runtime
+        config = runtime.config
+
+        messaging_lease = self.meter.lease(MESSAGING_INSTANCE, self.env.now)
+        redis_lease = self.meter.lease(REDIS_INSTANCE, self.env.now)
+
+        self._register_functions()
+        self._declare_channels()
+
+        started_at = self.env.now
+        worker_fn, supervisor_fn = self._function_names()
+        roles = [
+            self.env.process(
+                self._run_role(supervisor_fn, {"runtime": runtime}),
+                name="role-supervisor",
+            )
+        ]
+        for w in range(config.n_workers):
+            roles.append(
+                self.env.process(
+                    self._run_role(
+                        worker_fn, {"runtime": runtime, "worker_id": w}
+                    ),
+                    name=f"role-worker-{w}",
+                )
+            )
+        yield self.env.all_of(roles)
+        finished_at = self.env.now
+
+        self.meter.release(messaging_lease, finished_at)
+        self.meter.release(redis_lease, finished_at)
+
+        report = self._supervisor_report or {}
+        self.result = RunResult(
+            system="mlless",
+            monitor=runtime.monitor,
+            meter=self.meter,
+            started_at=started_at,
+            finished_at=finished_at,
+            converged=bool(report.get("converged")),
+            final_loss=report.get("final_loss"),
+            total_steps=int(report.get("steps", 0)),
+            extras={
+                "stop_reason_is_target": float(report.get("converged", False)),
+            },
+        )
+        return self.result
+
+    # -- internals -------------------------------------------------------
+    def _function_names(self):
+        if self.runtime.config.sync == "ssp":
+            return "mlless-ssp-worker", "mlless-ssp-supervisor"
+        return "mlless-worker", "mlless-supervisor"
+
+    def _register_functions(self) -> None:
+        memory = self.runtime.config.worker_memory_mb
+        worker_fn, supervisor_fn = self._function_names()
+        handlers = {
+            "mlless-worker": worker_handler,
+            "mlless-supervisor": supervisor_handler,
+            "mlless-ssp-worker": ssp_worker_handler,
+            "mlless-ssp-supervisor": ssp_supervisor_handler,
+        }
+        for name in (worker_fn, supervisor_fn):
+            if not self.platform.is_registered(name):
+                self.platform.register(
+                    FunctionSpec(name, handlers[name], memory_mb=memory)
+                )
+
+    def _declare_channels(self) -> None:
+        runtime = self.runtime
+        runtime.mq.declare(runtime.supervisor_queue)
+        for w in range(runtime.config.n_workers):
+            queue = runtime.worker_queue(w)
+            runtime.mq.declare(queue)
+            runtime.exchange.bind(queue)
+
+    def _run_role(self, function: str, payload: Dict[str, Any]) -> Generator:
+        """Invoke ``function``; re-invoke while it asks for a relaunch."""
+        while True:
+            activation = self.platform.invoke(function, payload)
+            yield activation.process
+            result = activation.result()
+            if isinstance(result, dict) and result.get("outcome") == "relaunch":
+                payload = {**payload, "resume": True}
+                continue
+            if function.endswith("supervisor"):
+                self._supervisor_report = result
+            return result

@@ -1,0 +1,147 @@
+"""Training-run results: loss/worker/cost trajectories and derived metrics.
+
+Every trainer in this repo (MLLess, the serverful baseline, the PyWren
+baseline) returns a :class:`RunResult`, so the experiment harnesses can
+compare systems uniformly: time-to-loss, cost-to-loss, Perf/$ (§6.2) and
+the loss reachable under a fixed budget (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..pricing import CostMeter
+from ..sim import Monitor
+
+__all__ = ["RunResult", "perf_per_dollar"]
+
+
+def perf_per_dollar(exec_time_s: float, price_usd: float) -> float:
+    """The paper's composite metric: ``1 / (time * price)``; higher is better."""
+    if exec_time_s <= 0 or price_usd <= 0:
+        raise ValueError("exec time and price must both be positive")
+    return 1.0 / (exec_time_s * price_usd)
+
+
+@dataclass
+class RunResult:
+    """Trajectories and accounting of one training run."""
+
+    system: str
+    #: monitor with series "loss" (sim-time -> mean step loss),
+    #: "loss_by_step" (step -> loss), "workers" (sim-time -> active count),
+    #: "step_duration" (step -> seconds)
+    monitor: Monitor
+    meter: CostMeter
+    #: simulated time the job started computing (post setup/boot)
+    started_at: float
+    #: simulated time the job stopped
+    finished_at: float
+    #: setup time excluded from exec time (VM boot for serverful; the
+    #: paper's comparison excludes start-up time on both sides)
+    setup_duration: float = 0.0
+    converged: bool = False
+    final_loss: Optional[float] = None
+    total_steps: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # -- durations -------------------------------------------------------
+    @property
+    def exec_time(self) -> float:
+        """Execution time excluding setup (the paper's headline metric)."""
+        return self.finished_at - self.started_at
+
+    @property
+    def wall_time(self) -> float:
+        """Execution time including setup."""
+        return self.exec_time + self.setup_duration
+
+    # -- cost -------------------------------------------------------------
+    @property
+    def total_cost(self) -> float:
+        return self.meter.total_cost()
+
+    def cost_at(self, sim_time: float) -> float:
+        return self.meter.total_cost(up_to=sim_time)
+
+    @property
+    def perf_per_dollar(self) -> float:
+        return perf_per_dollar(self.exec_time, self.total_cost)
+
+    # -- loss queries ------------------------------------------------------
+    def losses(self):
+        """(sim_times, losses) arrays of the smoothed-free raw loss series."""
+        return self.monitor.series("loss").as_arrays()
+
+    def time_to_loss(self, threshold: float) -> Optional[float]:
+        """Seconds (from ``started_at``) to first reach ``threshold``."""
+        t = self.monitor.series("loss").time_to_reach(threshold)
+        return None if t is None else t - self.started_at
+
+    def cost_to_loss(self, threshold: float) -> Optional[float]:
+        """$ spent when the loss first reached ``threshold``."""
+        t = self.monitor.series("loss").time_to_reach(threshold)
+        return None if t is None else self.cost_at(t)
+
+    def best_loss_within_budget(self, budget_usd: float) -> Optional[float]:
+        """Lowest loss reached before spending ``budget_usd`` (Fig. 7).
+
+        Returns None when the budget cannot even cover the first loss
+        report.
+        """
+        if budget_usd <= 0:
+            return None
+        times, losses = self.losses()
+        best = None
+        for t, loss in zip(times, losses):
+            if self.cost_at(t) > budget_usd:
+                break
+            best = loss if best is None else min(best, loss)
+        return best
+
+    def time_within_budget(self, budget_usd: float) -> float:
+        """Maximum exec seconds affordable with ``budget_usd`` (Fig. 7 bars).
+
+        Found by bisection on the cumulative cost curve over the run's
+        span; if the whole run costs less than the budget, extrapolates at
+        the run's average burn rate.
+        """
+        if budget_usd <= 0:
+            return 0.0
+        total = self.total_cost
+        if total <= budget_usd:
+            rate = total / max(self.exec_time, 1e-9)
+            return budget_usd / rate if rate > 0 else float("inf")
+        lo, hi = self.started_at, self.finished_at
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.cost_at(mid) <= budget_usd:
+                lo = mid
+            else:
+                hi = mid
+        return lo - self.started_at
+
+    # -- worker trajectory ----------------------------------------------
+    def final_worker_count(self) -> Optional[int]:
+        last = self.monitor.series("workers").last()
+        return None if last is None else int(last[1])
+
+    def mean_step_duration(self) -> float:
+        return self.monitor.series("step_duration").mean()
+
+    def steps_per_second(self) -> float:
+        return 1.0 / self.mean_step_duration()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "exec_time_s": round(self.exec_time, 3),
+            "total_cost_usd": round(self.total_cost, 6),
+            "converged": self.converged,
+            "final_loss": self.final_loss,
+            "steps": self.total_steps,
+            "final_workers": self.final_worker_count(),
+        }

@@ -1,0 +1,93 @@
+"""Knee detection on learning curves (§4.2, "Automatic knee detection").
+
+The scale-in scheduler never removes a worker before the learning curve
+passes its "knee" — the point where loss reduction starts flattening out.
+The paper uses a simple threshold on the first derivative (slope of the
+tangent line) and notes that methods like Kneedle [34] can be plugged in
+unchanged; both are implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .ewma import ewma
+
+__all__ = ["SlopeKneeDetector", "KneedleDetector"]
+
+
+@dataclass
+class SlopeKneeDetector:
+    """Threshold on the (smoothed) first derivative of the loss curve.
+
+    The knee is declared at the first step where the magnitude of the
+    per-step loss slope has fallen below ``slope_threshold`` times the
+    peak early slope, sustained for ``patience`` consecutive steps.
+    """
+
+    slope_threshold: float = 0.2
+    patience: int = 5
+    min_steps: int = 10
+    alpha: float = 0.3
+
+    def detect(self, losses: Sequence[float]) -> Optional[int]:
+        """Index of the knee (0-based step), or None if not reached yet."""
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        n = len(losses)
+        if n < max(self.min_steps, self.patience + 2):
+            return None
+        smooth = ewma(losses, alpha=self.alpha)
+        slopes = np.abs(np.diff(smooth))
+        # Peak slope over the early (first third, at least 3 points) region.
+        head = max(3, n // 3)
+        peak = float(slopes[:head].max())
+        if peak <= 0:
+            return None
+        flat = slopes < self.slope_threshold * peak
+        run = 0
+        for i, is_flat in enumerate(flat):
+            run = run + 1 if is_flat else 0
+            if run >= self.patience and i + 1 >= self.min_steps:
+                return i + 1 - self.patience + 1
+        return None
+
+
+@dataclass
+class KneedleDetector:
+    """Kneedle (Satopaa et al., 2011) for decreasing convex-ish curves.
+
+    Normalizes the curve to the unit square, computes the difference
+    curve ``y_norm - x_norm`` of the *inverted* losses, and returns the
+    index of its maximum if the peak is pronounced enough.
+    """
+
+    sensitivity: float = 1.0
+    min_steps: int = 10
+    alpha: float = 0.3
+
+    def detect(self, losses: Sequence[float]) -> Optional[int]:
+        n = len(losses)
+        if n < self.min_steps:
+            return None
+        y = ewma(losses, alpha=self.alpha)
+        x = np.arange(n, dtype=np.float64)
+        y_span = float(y.max() - y.min())
+        if y_span <= 0:
+            return None
+        x_norm = x / (n - 1)
+        # Invert so the curve increases (Kneedle's canonical orientation
+        # for "decreasing, convex" data).
+        y_norm = (y.max() - y) / y_span
+        diff = y_norm - x_norm
+        peak = int(np.argmax(diff))
+        if peak == 0 or peak == n - 1:
+            return None
+        # Pronounced-peak criterion: the peak must exceed the mean
+        # difference by sensitivity * std.
+        if diff[peak] < diff.mean() + self.sensitivity * diff.std():
+            return None
+        return peak

@@ -1,0 +1,127 @@
+"""Control-message schema for the MLLess messaging service.
+
+Messages are plain dicts (sized by :func:`repro.storage.payload_size`)
+with a ``type`` tag.  This module centralizes their construction and
+validation so workers, supervisor and tests agree on the schema.
+
+Flow per step ``t``:
+
+* each worker publishes ``step_done`` to the supervisor queue after
+  pushing its (filtered) update to the KV store;
+* the supervisor, once all active workers reported, broadcasts
+  ``step_complete`` through the worker exchange, carrying the stop flag,
+  an optional eviction order, and the list of workers whose updates are
+  available to pull;
+* an evicted worker saves its replica and publishes ``departed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "step_done",
+    "step_complete",
+    "departed",
+    "update_available",
+    "control",
+    "validate",
+    "STEP_DONE",
+    "STEP_COMPLETE",
+    "DEPARTED",
+    "UPDATE_AVAILABLE",
+    "CONTROL",
+]
+
+STEP_DONE = "step_done"
+STEP_COMPLETE = "step_complete"
+DEPARTED = "departed"
+#: SSP: a worker announcing its step-t update directly to its peers
+UPDATE_AVAILABLE = "update_available"
+#: SSP: a supervisor order broadcast to the workers (e.g. stop)
+CONTROL = "control"
+
+_REQUIRED: Dict[str, List[str]] = {
+    STEP_DONE: ["worker", "step", "loss", "has_update", "update_nnz"],
+    STEP_COMPLETE: ["step", "stop", "evict", "senders", "active"],
+    DEPARTED: ["worker", "step", "replica_key"],
+    UPDATE_AVAILABLE: ["worker", "step", "has_update"],
+    CONTROL: ["command"],
+}
+
+
+def step_done(
+    worker: int, step: int, loss: float, has_update: bool, update_nnz: int
+) -> Dict[str, Any]:
+    """Worker -> supervisor: finished local computation for ``step``."""
+    return {
+        "type": STEP_DONE,
+        "worker": int(worker),
+        "step": int(step),
+        "loss": float(loss),
+        "has_update": bool(has_update),
+        "update_nnz": int(update_nnz),
+    }
+
+
+def step_complete(
+    step: int,
+    stop: bool,
+    senders: List[int],
+    active: int,
+    evict: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Supervisor -> all workers: barrier release for ``step``.
+
+    ``active`` is the pool size for the *next* step (evictions applied),
+    which workers use to scale their update contributions (gradient
+    averaging, §3.2).
+    """
+    return {
+        "type": STEP_COMPLETE,
+        "step": int(step),
+        "stop": bool(stop),
+        "evict": None if evict is None else int(evict),
+        "senders": [int(w) for w in senders],
+        "active": int(active),
+    }
+
+
+def departed(worker: int, step: int, replica_key: str) -> Dict[str, Any]:
+    """Evicted worker -> supervisor: replica stored, terminating."""
+    return {
+        "type": DEPARTED,
+        "worker": int(worker),
+        "step": int(step),
+        "replica_key": replica_key,
+    }
+
+
+def update_available(worker: int, step: int, has_update: bool) -> Dict[str, Any]:
+    """SSP worker -> peers: my step-``step`` update is in the KV store."""
+    return {
+        "type": UPDATE_AVAILABLE,
+        "worker": int(worker),
+        "step": int(step),
+        "has_update": bool(has_update),
+    }
+
+
+def control(command: str) -> Dict[str, Any]:
+    """SSP supervisor -> workers: broadcast order (currently: "stop")."""
+    if command not in ("stop",):
+        raise ValueError(f"unknown control command {command!r}")
+    return {"type": CONTROL, "command": command}
+
+
+def validate(message: Dict[str, Any]) -> str:
+    """Check schema; returns the message type or raises ``ValueError``."""
+    if not isinstance(message, dict) or "type" not in message:
+        raise ValueError(f"not a control message: {message!r}")
+    mtype = message["type"]
+    if mtype not in _REQUIRED:
+        raise ValueError(f"unknown message type {mtype!r}")
+    missing = [k for k in _REQUIRED[mtype] if k not in message]
+    if missing:
+        raise ValueError(f"{mtype} message missing fields {missing}")
+    return mtype

@@ -1,0 +1,101 @@
+"""Shared runtime context of one MLLess job.
+
+A :class:`JobRuntime` bundles everything workers and the supervisor need:
+the job config, the simulated services, queue/key naming conventions, and
+the run monitor.  It is passed (by reference — this is an in-process
+simulation) inside function payloads.
+
+Also defines :class:`WorkerCheckpoint`, the state a worker persists to the
+KV store when it approaches the FaaS duration cap and must be relaunched
+as a fresh activation (§3.1 sketches exactly this checkpoint/relaunch
+scheme for the supervisor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ml.optim.base import Optimizer
+from ..ml.parameters import ParameterSet
+from ..sim import Monitor
+from ..storage import Exchange, KVStore, MessageQueue, ObjectStore
+from .config import JobConfig
+from .significance import SignificanceFilter
+
+__all__ = ["JobRuntime", "WorkerCheckpoint"]
+
+#: queue the supervisor consumes control messages from
+SUPERVISOR_QUEUE = "supervisor"
+
+
+@dataclass
+class JobRuntime:
+    """Everything shared by the components of one training job."""
+
+    config: JobConfig
+    cos: ObjectStore
+    kv: KVStore
+    mq: MessageQueue
+    exchange: Exchange
+    bucket: str
+    batch_keys: List[str]
+    #: per-worker lists of batch indices (round-robin data partition)
+    partitions: List[List[int]]
+    monitor: Monitor = field(default_factory=Monitor)
+
+    # -- naming conventions ------------------------------------------------
+    @property
+    def supervisor_queue(self) -> str:
+        return SUPERVISOR_QUEUE
+
+    def worker_queue(self, worker: int) -> str:
+        return f"worker-{worker}"
+
+    def update_key(self, step: int, worker: int) -> str:
+        return f"upd/{step}/{worker}"
+
+    def replica_key(self, step: int, worker: int) -> str:
+        return f"departed/{step}/{worker}"
+
+    def checkpoint_key(self, worker: int) -> str:
+        return f"ckpt/worker-{worker}"
+
+    @property
+    def supervisor_checkpoint_key(self) -> str:
+        return "ckpt/supervisor"
+
+
+class WorkerCheckpoint:
+    """A worker's full state, persisted across activation relaunches."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        step: int,
+        params: ParameterSet,
+        optimizer: Optimizer,
+        sig_filter: SignificanceFilter,
+        pending_replica: Optional[Tuple[int, int]] = None,
+        active_workers: int = 1,
+    ):
+        self.worker_id = worker_id
+        self.step = step
+        self.params = params
+        self.optimizer = optimizer
+        self.sig_filter = sig_filter
+        #: (step, worker) of an eviction whose replica is not yet merged
+        self.pending_replica = pending_replica
+        #: pool size as of the last barrier (scales update contributions)
+        self.active_workers = active_workers
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: parameters + optimizer state + filter accumulators.
+
+        The optimizer buffers and the significance accumulators are dense
+        tensors of the same shapes as the parameters; a conservative
+        estimate charges one parameter-sized tensor for each state slot.
+        """
+        state_slots = len(getattr(self.optimizer, "_state", {}))
+        return self.params.nbytes * (2 + state_slots)

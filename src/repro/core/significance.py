@@ -1,0 +1,107 @@
+"""The ISP significance filter (§4.1).
+
+Each worker accumulates its local updates per parameter while they are
+non-significant.  After applying the step-``t`` update, the accumulated
+update ``delta_{i,t}`` for parameter ``i`` is *significant* when::
+
+    | delta_{i,t} / x_{i,t} | > v_t,    v_t = v / sqrt(t)
+
+Significant entries are extracted (the full accumulated history encoded as
+one sparse update), broadcast to peers, and their accumulators reset; the
+rest stay local.  With ``v = 0`` every touched entry is significant, so
+ISP degrades to BSP exactly (the Corollary in Appendix A) — property
+tests rely on this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..ml.parameters import ModelUpdate, ParameterSet
+from ..ml.sparse import SparseDelta
+
+__all__ = ["threshold_at", "SignificanceFilter"]
+
+#: guards the relative-magnitude test against division by a zero parameter
+_X_EPS = 1e-8
+
+
+def threshold_at(v: float, t: int) -> float:
+    """The decaying significance threshold ``v_t = v / sqrt(t)``."""
+    if v < 0:
+        raise ValueError(f"v must be >= 0, got {v}")
+    if t < 1:
+        raise ValueError(f"step t must be >= 1, got {t}")
+    return v / math.sqrt(t)
+
+
+class SignificanceFilter:
+    """Per-parameter accumulation + relative-significance extraction."""
+
+    def __init__(self, v: float, shapes: Dict[str, tuple]):
+        if v < 0:
+            raise ValueError(f"v must be >= 0, got {v}")
+        self.v = v
+        self._acc: Dict[str, np.ndarray] = {
+            name: np.zeros(shape) for name, shape in shapes.items()
+        }
+
+    @property
+    def accumulated(self) -> Dict[str, np.ndarray]:
+        """Read-only view of the residual accumulators (for tests)."""
+        return {n: a.copy() for n, a in self._acc.items()}
+
+    def residual_update(self) -> ModelUpdate:
+        """The entire accumulated residual as one sparse update.
+
+        Used at eviction time: the leaving worker's unsent history is what
+        model averaging reintegrates into the survivors.
+        """
+        return ModelUpdate(
+            {n: SparseDelta.from_dense(a) for n, a in self._acc.items()}
+        )
+
+    def add(self, update: ModelUpdate) -> None:
+        """Fold a local update ``u_t`` into the accumulators."""
+        for name, delta in update:
+            if name not in self._acc:
+                raise KeyError(f"update names unknown tensor {name!r}")
+            delta.apply_to(self._acc[name])
+
+    def extract_significant(
+        self, params: ParameterSet, t: int
+    ) -> ModelUpdate:
+        """Pull out (and reset) every significant accumulated entry.
+
+        ``params`` is the worker's *noisy* local model after applying its
+        own update — the denominator of the relative-magnitude test.
+        Returns the sparse update to broadcast (possibly empty).
+        """
+        v_t = threshold_at(self.v, t)
+        deltas: Dict[str, SparseDelta] = {}
+        for name, acc in self._acc.items():
+            flat_acc = np.ravel(acc)
+            candidate = np.flatnonzero(flat_acc)
+            if len(candidate) == 0:
+                deltas[name] = SparseDelta.empty(acc.shape)
+                continue
+            if v_t <= 0:
+                significant = candidate
+            else:
+                x = np.abs(np.ravel(params[name])[candidate]) + _X_EPS
+                significant = candidate[
+                    np.abs(flat_acc[candidate]) / x > v_t
+                ]
+            deltas[name] = SparseDelta(
+                significant, flat_acc[significant].copy(), acc.shape
+            )
+            flat_acc[significant] = 0.0
+        return ModelUpdate(deltas)
+
+    def step(self, params: ParameterSet, update: ModelUpdate, t: int) -> ModelUpdate:
+        """Convenience: ``add`` then ``extract_significant``."""
+        self.add(update)
+        return self.extract_significant(params, t)

@@ -1,0 +1,218 @@
+"""Stale Synchronous Parallel workers and supervisor.
+
+The paper's default synchronization is BSP, but §3.1 notes that "less
+strict synchronization models such as SSP [13] are easy enough to
+integrate".  This module integrates it:
+
+* workers announce each (significance-filtered) update **directly to
+  their peers** through the messaging exchange — no per-step barrier;
+* a worker at step ``t`` only blocks when the slowest peer is more than
+  ``ssp_staleness`` steps behind;
+* the supervisor still aggregates per-step losses and broadcasts a
+  ``control(stop)`` order when the convergence criterion is met.
+
+The significance filter composes unchanged (ISP-over-SSP); the scale-in
+auto-tuner is BSP-only (enforced by :class:`~repro.core.config.JobConfig`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+import numpy as np
+
+from ..faas import InvocationContext
+from . import messages
+from .runtime import JobRuntime, WorkerCheckpoint
+from .worker import _fresh_checkpoint
+
+__all__ = ["ssp_worker_handler", "ssp_supervisor_handler"]
+
+
+class _SSPView:
+    """A worker's view of peer progress and pending control orders."""
+
+    def __init__(self, worker_id: int, n_workers: int):
+        self.peer_progress: Dict[int, int] = {
+            p: 0 for p in range(n_workers) if p != worker_id
+        }
+        self.stop = False
+
+    def slowest_peer_step(self) -> int:
+        if not self.peer_progress:
+            return 10**12  # no peers: never blocks
+        return min(self.peer_progress.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size when checkpointed alongside the worker state."""
+        return 16 + 16 * len(self.peer_progress)
+
+
+def _handle_message(
+    runtime: JobRuntime,
+    state: WorkerCheckpoint,
+    view: _SSPView,
+    message: Dict[str, Any],
+) -> Generator:
+    mtype = messages.validate(message)
+    if mtype == messages.UPDATE_AVAILABLE:
+        peer, step = message["worker"], message["step"]
+        view.peer_progress[peer] = max(view.peer_progress.get(peer, 0), step)
+        if message["has_update"]:
+            update = yield from runtime.kv.get(runtime.update_key(step, peer))
+            state.params.apply(update)
+    elif mtype == messages.CONTROL:
+        if message["command"] == "stop":
+            view.stop = True
+    else:
+        raise RuntimeError(f"SSP worker got unexpected {mtype!r}")
+
+
+def ssp_worker_handler(
+    ctx: InvocationContext, payload: Dict[str, Any]
+) -> Generator:
+    """FaaS handler: one SSP worker."""
+    runtime: JobRuntime = payload["runtime"]
+    worker_id: int = payload["worker_id"]
+    config = runtime.config
+    calib = config.calibration
+    model = config.model
+    started = ctx.now
+
+    if payload.get("resume"):
+        state, view = yield from runtime.kv.get(
+            runtime.checkpoint_key(worker_id)
+        )
+    else:
+        state = _fresh_checkpoint(runtime, worker_id)
+        view = _SSPView(worker_id, config.n_workers)
+
+    partition = runtime.partitions[worker_id]
+    my_queue = runtime.worker_queue(worker_id)
+
+    while True:
+        t = state.step + 1
+
+        # Drain everything already delivered (peer updates, stop orders).
+        pending = yield from runtime.mq.drain(my_queue)
+        for message in pending:
+            yield from _handle_message(runtime, state, view, message)
+        if view.stop:
+            return {"worker": worker_id, "steps": state.step, "outcome": "stopped"}
+
+        # The staleness gate: block until the slowest peer is close enough.
+        while (t - 1) - view.slowest_peer_step() > config.ssp_staleness:
+            message = yield from runtime.mq.consume(my_queue)
+            yield from _handle_message(runtime, state, view, message)
+            if view.stop:
+                return {
+                    "worker": worker_id,
+                    "steps": state.step,
+                    "outcome": "stopped",
+                }
+
+        # One local step: fetch, compute, optimize, filter, announce.
+        batch_idx = partition[(t - 1) % len(partition)]
+        batch = yield from runtime.cos.get(
+            runtime.bucket, runtime.batch_keys[batch_idx]
+        )
+        yield from ctx.compute(
+            calib.mlless_step_seconds(model.sparse_step_flops(batch))
+        )
+        loss, grad = model.gradient(state.params, batch)
+        update = state.optimizer.step(state.params, grad, t).scale(
+            1.0 / config.n_workers
+        )
+        state.params.apply(update)
+        outgoing = state.sig_filter.step(state.params, update, t)
+        has_update = not outgoing.is_empty()
+        if has_update:
+            yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
+        yield from runtime.exchange.publish(
+            messages.update_available(worker_id, t, has_update),
+            exclude=my_queue,
+        )
+        yield from runtime.mq.publish(
+            runtime.supervisor_queue,
+            messages.step_done(worker_id, t, loss, has_update, outgoing.nnz),
+        )
+        state.step = t
+
+        if ctx.remaining_time(started) < config.relaunch_margin_s:
+            yield from runtime.kv.set(
+                runtime.checkpoint_key(worker_id), (state, view)
+            )
+            return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+
+
+def ssp_supervisor_handler(
+    ctx: InvocationContext, payload: Dict[str, Any]
+) -> Generator:
+    """FaaS handler: the SSP supervisor (loss aggregation + stop order).
+
+    Collects ``step_done`` reports; a step is *complete* once every worker
+    has reported it.  Completion times give the loss/step-duration series;
+    the stop condition matches the BSP supervisor's.
+    """
+    runtime: JobRuntime = payload["runtime"]
+    config = runtime.config
+    started = ctx.now
+
+    if payload.get("resume"):
+        state = yield from runtime.kv.get(runtime.supervisor_checkpoint_key)
+    else:
+        state = {
+            "reports": {},        # step -> {worker: loss}
+            "completed": 0,
+            "last_time": None,
+            "job_started_at": ctx.now,
+        }
+        runtime.monitor.record("workers", ctx.now, config.n_workers)
+
+    while True:
+        message = yield from runtime.mq.consume(runtime.supervisor_queue)
+        if messages.validate(message) != messages.STEP_DONE:
+            continue
+        step, worker = message["step"], message["worker"]
+        state["reports"].setdefault(step, {})[worker] = message["loss"]
+
+        next_step = state["completed"] + 1
+        while (
+            next_step in state["reports"]
+            and len(state["reports"][next_step]) == config.n_workers
+        ):
+            now = ctx.now
+            mean_loss = float(np.mean(list(state["reports"][next_step].values())))
+            runtime.monitor.record("loss", now, mean_loss)
+            runtime.monitor.record("loss_by_step", next_step, mean_loss)
+            if state["last_time"] is not None:
+                runtime.monitor.record(
+                    "step_duration", next_step, now - state["last_time"]
+                )
+            state["last_time"] = now
+            del state["reports"][next_step]
+            state["completed"] = next_step
+
+            stop = False
+            reason = ""
+            if config.target_loss is not None and mean_loss <= config.target_loss:
+                stop, reason = True, "target"
+            elif next_step >= config.max_steps:
+                stop, reason = True, "max_steps"
+            elif now - state["job_started_at"] >= config.max_time_s:
+                stop, reason = True, "max_time"
+            if stop:
+                yield from runtime.exchange.publish(messages.control("stop"))
+                return {
+                    "outcome": "finished",
+                    "steps": state["completed"],
+                    "final_loss": mean_loss,
+                    "reason": reason,
+                    "converged": reason == "target",
+                }
+            next_step = state["completed"] + 1
+
+        if ctx.remaining_time(started) < config.relaunch_margin_s:
+            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, state)
+            return {"outcome": "relaunch"}

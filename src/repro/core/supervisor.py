@@ -1,0 +1,192 @@
+"""The MLLess supervisor (§3.1).
+
+A serverless function that collects per-step statistics from all workers,
+releases the per-step barrier, decides when training has converged, and
+drives the scale-in auto-tuner.  Like the workers it checkpoints itself to
+the KV store and relaunches when the activation nears the platform's
+duration cap (the paper sketches exactly this scheme).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set
+
+import numpy as np
+
+from ..faas import InvocationContext
+from . import messages
+from .autotuner import ScaleInScheduler
+from .runtime import JobRuntime
+
+__all__ = ["supervisor_handler", "SupervisorState"]
+
+
+class SupervisorState:
+    """All supervisor state, persistable across relaunches."""
+
+    def __init__(self, runtime: JobRuntime):
+        config = runtime.config
+        self.active: Set[int] = set(range(config.n_workers))
+        self.reports: Dict[int, Dict[int, Dict[str, Any]]] = {}
+        self.last_loss: Dict[int, float] = {}
+        self.completed_step = 0
+        self.last_barrier_time: Optional[float] = None
+        self.job_started_at: Optional[float] = None
+        self.scheduler = ScaleInScheduler(config.autotuner, config.n_workers)
+        self.pending_eviction: Optional[int] = None
+        self.stop_reason: Optional[str] = None
+        self.final_loss: Optional[float] = None
+        #: update keys by step, pending garbage collection
+        self.gc_backlog: Dict[int, List[str]] = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Checkpoint wire size: histories dominate (~24 B per step)."""
+        return 1024 + 24 * len(self.scheduler._steps) + 64 * len(self.active)
+
+
+def supervisor_handler(
+    ctx: InvocationContext, payload: Dict[str, Any]
+) -> Generator:
+    """FaaS handler: the supervisor control loop."""
+    runtime: JobRuntime = payload["runtime"]
+    config = runtime.config
+    started = ctx.now
+
+    if payload.get("resume"):
+        state: SupervisorState = yield from runtime.kv.get(
+            runtime.supervisor_checkpoint_key
+        )
+    else:
+        state = SupervisorState(runtime)
+        state.job_started_at = ctx.now
+        runtime.monitor.record("workers", ctx.now, len(state.active))
+
+    while True:
+        message = yield from runtime.mq.consume(runtime.supervisor_queue)
+        mtype = messages.validate(message)
+
+        if mtype == messages.STEP_DONE:
+            stop = yield from _handle_step_done(ctx, runtime, state, message)
+            if stop:
+                return {
+                    "outcome": "finished",
+                    "steps": state.completed_step,
+                    "final_loss": state.final_loss,
+                    "reason": state.stop_reason,
+                    "converged": state.stop_reason == "target",
+                }
+        elif mtype == messages.DEPARTED:
+            _handle_departed(ctx, runtime, state, message)
+
+        if ctx.remaining_time(started) < config.relaunch_margin_s:
+            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, state)
+            return {"outcome": "relaunch"}
+
+
+def _handle_step_done(
+    ctx: InvocationContext,
+    runtime: JobRuntime,
+    state: SupervisorState,
+    message: Dict[str, Any],
+) -> Generator:
+    """Collect a report; release the barrier once every active worker is in.
+
+    Returns True when the stop broadcast went out (job over).
+    """
+    config = runtime.config
+    step = message["step"]
+    worker = message["worker"]
+    state.reports.setdefault(step, {})[worker] = message
+    state.last_loss[worker] = message["loss"]
+
+    collected = state.reports[step]
+    if set(collected) != state.active or step != state.completed_step + 1:
+        return False
+
+    now = ctx.now
+    losses = [m["loss"] for m in collected.values()]
+    mean_loss = float(np.mean(losses))
+    runtime.monitor.record("loss", now, mean_loss)
+    runtime.monitor.record("loss_by_step", step, mean_loss)
+    if state.last_barrier_time is not None:
+        runtime.monitor.record(
+            "step_duration", step, now - state.last_barrier_time
+        )
+    state.last_barrier_time = now
+    state.scheduler.observe(step, now, mean_loss)
+
+    stop, reason = _stop_condition(config, state, step, mean_loss, now)
+    evict = None
+    if not stop and state.pending_eviction is None:
+        decision = state.scheduler.should_evict(now)
+        if decision.evict:
+            evict = _pick_victim(state)
+    senders = [w for w, m in sorted(collected.items()) if m["has_update"]]
+    next_active = len(state.active) - (1 if evict is not None else 0)
+    yield from runtime.exchange.publish(
+        messages.step_complete(step, stop, senders, next_active, evict=evict)
+    )
+
+    state.completed_step = step
+    del state.reports[step]
+    if evict is not None:
+        state.pending_eviction = evict
+        state.active.discard(evict)
+
+    # Garbage-collect old update keys: once every worker has pulled the
+    # updates of step t (guaranteed after the barrier of step t+2), their
+    # KV entries are dead weight.  One core supervisor attribution (§3.1:
+    # "among other tasks").  Deletes run as a detached process so they
+    # never delay the next barrier.
+    state.gc_backlog[step] = [runtime.update_key(step, w) for w in senders]
+    expired = [s for s in state.gc_backlog if s <= step - 2]
+    dead_keys = [k for s in expired for k in state.gc_backlog.pop(s)]
+    if dead_keys:
+        ctx.env.process(_gc_keys(runtime, dead_keys), name="kv-gc")
+
+    if stop:
+        state.stop_reason = reason
+        state.final_loss = mean_loss
+        return True
+    return False
+
+
+def _stop_condition(config, state, step, mean_loss, now):
+    if config.target_loss is not None and mean_loss <= config.target_loss:
+        return True, "target"
+    if step >= config.max_steps:
+        return True, "max_steps"
+    if state.job_started_at is not None and (
+        now - state.job_started_at >= config.max_time_s
+    ):
+        return True, "max_time"
+    return False, ""
+
+
+def _gc_keys(runtime: JobRuntime, keys: List[str]) -> Generator:
+    """Detached background deletion of consumed update keys."""
+    for key in keys:
+        yield from runtime.kv.delete(key)
+
+
+def _pick_victim(state: SupervisorState) -> Optional[int]:
+    """The worker with the lowest-quality replica = highest reported loss."""
+    candidates = [w for w in state.active if w in state.last_loss]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda w: state.last_loss[w])
+
+
+def _handle_departed(
+    ctx: InvocationContext,
+    runtime: JobRuntime,
+    state: SupervisorState,
+    message: Dict[str, Any],
+) -> None:
+    worker = message["worker"]
+    runtime.exchange.unbind(runtime.worker_queue(worker))
+    state.scheduler.notify_evicted()
+    if state.pending_eviction == worker:
+        state.pending_eviction = None
+    runtime.monitor.record("workers", ctx.now, len(state.active))

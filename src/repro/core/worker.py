@@ -1,0 +1,173 @@
+"""The MLLess serverless worker (§3.2 "Job execution").
+
+Each worker keeps a local replica of the model and repeats, per step:
+
+1. merge a departed peer's replica if an eviction completed last step
+   (model averaging, §4.2 "Eviction policy");
+2. fetch its next mini-batch from the object store;
+3. compute the local gradient (simulated CPU time from the calibrated
+   sparse-kernel flop model, real numpy arithmetic);
+4. run the optimizer, apply the update locally, and push the
+   *significant* part of the accumulated update to the KV store
+   (BSP pushes everything — v = 0);
+5. announce completion to the supervisor over the messaging service;
+6. block on the supervisor's ``step_complete`` barrier release, then pull
+   and apply the peers' updates listed in it.
+
+When the activation nears the platform's 10-minute cap, the worker
+checkpoints its state to the KV store and returns a relaunch marker; the
+driver re-invokes it as a fresh activation that resumes from the
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+import numpy as np
+
+from ..faas import InvocationContext
+from . import messages
+from .runtime import JobRuntime, WorkerCheckpoint
+from .significance import SignificanceFilter
+
+__all__ = ["worker_handler"]
+
+
+def _fresh_checkpoint(runtime: JobRuntime, worker_id: int) -> WorkerCheckpoint:
+    """Initial worker state: identical model replica on every worker."""
+    config = runtime.config
+    rng = np.random.default_rng(config.seed)  # same seed => same init
+    params = config.model.init_params(rng)
+    if config.make_filter is not None:
+        sig_filter = config.make_filter(params.shapes())
+    else:
+        sig_filter = SignificanceFilter(config.significance_v, params.shapes())
+    return WorkerCheckpoint(
+        worker_id=worker_id,
+        step=0,
+        params=params,
+        optimizer=config.make_optimizer(),
+        sig_filter=sig_filter,
+        active_workers=config.n_workers,
+    )
+
+
+def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator:
+    """FaaS handler: run training steps until stop/evict/relaunch."""
+    runtime: JobRuntime = payload["runtime"]
+    worker_id: int = payload["worker_id"]
+    config = runtime.config
+    calib = config.calibration
+    model = config.model
+    started = ctx.now
+
+    if payload.get("resume"):
+        state: WorkerCheckpoint = yield from runtime.kv.get(
+            runtime.checkpoint_key(worker_id)
+        )
+    else:
+        state = _fresh_checkpoint(runtime, worker_id)
+
+    partition = runtime.partitions[worker_id]
+    my_queue = runtime.worker_queue(worker_id)
+
+    while True:
+        t = state.step + 1
+
+        # (1) pending reintegration of an evicted peer's replica.
+        if state.pending_replica is not None:
+            yield from _reintegrate(ctx, runtime, state)
+
+        # (2) fetch the next mini-batch of this worker's partition.
+        batch_idx = partition[(t - 1) % len(partition)]
+        batch = yield from runtime.cos.get(
+            runtime.bucket, runtime.batch_keys[batch_idx]
+        )
+
+        # (3) local gradient — real arithmetic, simulated CPU time.
+        yield from ctx.compute(
+            calib.mlless_step_seconds(model.sparse_step_flops(batch))
+        )
+        loss, grad = model.gradient(state.params, batch)
+
+        # (4) optimize, scale by the pool size (gradient averaging, §3.2),
+        # apply locally, filter, publish the significant part.
+        update = state.optimizer.step(state.params, grad, t).scale(
+            1.0 / state.active_workers
+        )
+        state.params.apply(update)
+        outgoing = state.sig_filter.step(state.params, update, t)
+        has_update = not outgoing.is_empty()
+        if has_update:
+            yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
+
+        # (5) tell the supervisor this step is computed.
+        yield from runtime.mq.publish(
+            runtime.supervisor_queue,
+            messages.step_done(worker_id, t, loss, has_update, outgoing.nnz),
+        )
+
+        # (6) barrier: wait for the supervisor's release, pull peer updates.
+        release = yield from runtime.mq.consume(my_queue)
+        if messages.validate(release) != messages.STEP_COMPLETE:
+            raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
+        if release["step"] != t:
+            raise RuntimeError(
+                f"worker {worker_id}: barrier for step {release['step']} "
+                f"while at step {t}"
+            )
+        for peer in release["senders"]:
+            if peer == worker_id:
+                continue
+            peer_update = yield from runtime.kv.get(runtime.update_key(t, peer))
+            state.params.apply(peer_update)
+
+        state.step = t
+        state.active_workers = release["active"]
+
+        evicted = release["evict"]
+        if evicted == worker_id:
+            yield from _depart(ctx, runtime, state)
+            return {"worker": worker_id, "steps": t, "outcome": "evicted"}
+        if evicted is not None:
+            state.pending_replica = (t, evicted)
+
+        if release["stop"]:
+            return {"worker": worker_id, "steps": t, "outcome": "converged"}
+
+        # Relaunch before the platform kills the activation.
+        if ctx.remaining_time(started) < config.relaunch_margin_s:
+            yield from runtime.kv.set(runtime.checkpoint_key(worker_id), state)
+            return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+
+
+def _reintegrate(
+    ctx: InvocationContext, runtime: JobRuntime, state: WorkerCheckpoint
+) -> Generator:
+    """Merge a departed peer's replica by model averaging (for v > 0)."""
+    evict_step, peer = state.pending_replica
+    state.pending_replica = None
+    if runtime.config.significance_v == 0 or not runtime.config.reintegrate_on_evict:
+        # BSP replicas are exact copies — averaging is a no-op (Corollary
+        # in Appendix A), so the one-shot synchronization is skipped.
+        return
+    key = runtime.replica_key(evict_step, peer)
+    # The replica may not be stored yet; poll with short waits.
+    while not (yield from runtime.kv.exists(key)):
+        yield ctx.env.timeout(0.01)
+    replica = yield from runtime.kv.get(key)
+    state.params.average_with(replica)
+
+
+def _depart(
+    ctx: InvocationContext, runtime: JobRuntime, state: WorkerCheckpoint
+) -> Generator:
+    """Store the local replica, notify the supervisor, terminate."""
+    key = runtime.replica_key(state.step, state.worker_id)
+    if runtime.config.significance_v > 0 and runtime.config.reintegrate_on_evict:
+        yield from runtime.kv.set(key, state.params)
+    yield from runtime.mq.publish(
+        runtime.supervisor_queue,
+        messages.departed(state.worker_id, state.step, key),
+    )

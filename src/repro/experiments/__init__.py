@@ -1,0 +1,1 @@
+"""Experiment harnesses: one module per table/figure of the paper."""

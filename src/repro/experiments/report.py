@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Every experiment module returns plain data (lists of row dicts or
+series); these helpers print them in the shape the paper's tables and
+figure captions report, so ``pytest benchmarks/ --benchmark-only`` output
+can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+__all__ = ["render_table", "render_series", "banner"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, Cell]], title: str = "") -> str:
+    """Render a list of homogeneous row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    formatted = [[_format_cell(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(f[i]) for f in formatted))
+        for i, c in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for f in formatted:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(f, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Iterable[float], ys: Iterable[float], max_points: int = 12
+) -> str:
+    """Render an (x, y) series, downsampled to ``max_points`` rows."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    stride = max(1, n // max_points)
+    idx = list(range(0, n, stride))
+    if idx[-1] != n - 1:
+        idx.append(n - 1)
+    pts = ", ".join(
+        f"({_format_cell(xs[i])}, {_format_cell(ys[i])})" for i in idx
+    )
+    return f"{name} [{n} pts]: {pts}"
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(len(text), 8)
+    return f"{bar}\n{text}\n{bar}"

@@ -1,0 +1,20 @@
+"""Simulated Function-as-a-Service platform (IBM Cloud Functions stand-in)."""
+
+from .billing import ActivationRecord, FaaSBilling
+from .coldstart import ColdStartModel
+from .function import ActivationTimeout, FunctionSpec, InvocationContext
+from .limits import FaaSLimits, IBM_CLOUD_FUNCTIONS_LIMITS
+from .platform import Activation, FaaSPlatform
+
+__all__ = [
+    "FaaSPlatform",
+    "Activation",
+    "FunctionSpec",
+    "InvocationContext",
+    "ActivationTimeout",
+    "FaaSLimits",
+    "IBM_CLOUD_FUNCTIONS_LIMITS",
+    "ColdStartModel",
+    "FaaSBilling",
+    "ActivationRecord",
+]

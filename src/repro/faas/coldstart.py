@@ -1,0 +1,40 @@
+"""Cold-start model for the simulated FaaS platform.
+
+An invocation hitting a warm container pays a small dispatch latency; a
+cold invocation additionally pays container provisioning plus runtime
+initialization (the Python runtime and the MLLess library import, which
+the paper's prototype ships inside the function image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ColdStartModel"]
+
+
+@dataclass(frozen=True)
+class ColdStartModel:
+    """Latency parameters for dispatching an activation."""
+
+    #: warm dispatch latency (controller + scheduler), seconds
+    warm_median: float = 0.010
+    warm_sigma: float = 0.3
+    #: cold container provision + runtime init, seconds
+    cold_median: float = 0.600
+    cold_sigma: float = 0.4
+    #: idle time after which a warm container is reclaimed, seconds
+    keep_alive: float = 600.0
+
+    def warm_latency(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(np.log(self.warm_median), self.warm_sigma))
+
+    def cold_latency(self, rng: np.random.Generator) -> float:
+        return self.warm_latency(rng) + float(
+            rng.lognormal(np.log(self.cold_median), self.cold_sigma)
+        )
+
+    def dispatch_latency(self, warm: bool, rng: np.random.Generator) -> float:
+        return self.warm_latency(rng) if warm else self.cold_latency(rng)

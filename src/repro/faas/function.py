@@ -1,0 +1,97 @@
+"""Function specifications and activation context.
+
+A *function* is registered code plus a memory setting.  Handlers are
+simulation-process generator functions::
+
+    def handler(ctx, payload):
+        yield from ctx.compute(cpu_seconds=0.05)
+        data = yield from ctx.services.cos.get("bucket", "key")
+        return result
+
+``ctx`` (an :class:`InvocationContext`) provides the simulated clock, the
+platform services, and :meth:`InvocationContext.compute`, which charges CPU
+time scaled by the activation's vCPU share (a 1024 MB function computes at
+half speed — the memory→CPU coupling of IBM Cloud Functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..sim import Environment
+from .limits import FaaSLimits
+
+__all__ = ["FunctionSpec", "InvocationContext", "ActivationTimeout"]
+
+
+class ActivationTimeout(Exception):
+    """Raised inside a handler when the platform duration cap is hit."""
+
+    def __init__(self, function: str, limit_s: float):
+        super().__init__(f"activation of {function!r} exceeded {limit_s:.0f}s limit")
+        self.function = function
+        self.limit_s = limit_s
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Registered function: name, handler generator-function, memory."""
+
+    name: str
+    handler: Callable[["InvocationContext", Any], Generator]
+    memory_mb: int = 2048
+
+    def validate(self, limits: FaaSLimits) -> None:
+        limits.validate_memory(self.memory_mb)
+        if not callable(self.handler):
+            raise TypeError(f"handler for {self.name!r} is not callable")
+
+
+class InvocationContext:
+    """What a running activation sees: clock, services, compute charging."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: "FaaSPlatform",  # noqa: F821 - forward ref
+        function: str,
+        activation_id: int,
+        memory_mb: int,
+        services: Any = None,
+    ):
+        self.env = env
+        self.platform = platform
+        self.function = function
+        self.activation_id = activation_id
+        self.memory_mb = memory_mb
+        self.cpu_share = platform.limits.cpu_share(memory_mb)
+        #: service bundle (object store, KV store, MQ, ...) given at invoke
+        self.services = services
+        self.cpu_seconds_used = 0.0
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def compute(self, cpu_seconds: float) -> Generator:
+        """Charge ``cpu_seconds`` of single-vCPU work at this activation's share."""
+        if cpu_seconds < 0:
+            raise ValueError(f"cpu_seconds must be >= 0, got {cpu_seconds}")
+        wall = cpu_seconds / self.cpu_share
+        self.cpu_seconds_used += cpu_seconds
+        yield self.env.timeout(wall)
+
+    def sleep(self, seconds: float) -> Generator:
+        """Idle wait (still billed by the platform — FaaS charges wall time)."""
+        yield self.env.timeout(seconds)
+
+    def remaining_time(self, started_at: float) -> float:
+        """Seconds left before the duration cap, given the start time."""
+        return self.platform.limits.max_duration_s - (self.env.now - started_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InvocationContext {self.function}#{self.activation_id} "
+            f"{self.memory_mb}MB>"
+        )

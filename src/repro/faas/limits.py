@@ -1,0 +1,67 @@
+"""Resource limits of the simulated FaaS platform.
+
+Modeled on IBM Cloud Functions at the time of the paper:
+
+* memory per activation configurable up to 2048 MB;
+* CPU share proportional to memory — the full 2048 MB buys the
+  equivalent of **one** vCPU, and there is *no* thread-level parallelism
+  beyond that (§5 and Fig. 3 of the paper);
+* activations are killed at the 10-minute mark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaaSLimits", "IBM_CLOUD_FUNCTIONS_LIMITS"]
+
+
+@dataclass(frozen=True)
+class FaaSLimits:
+    """Platform-wide activation limits."""
+
+    max_memory_mb: int = 2048
+    min_memory_mb: int = 128
+    max_duration_s: float = 600.0
+    #: memory that buys one full vCPU of compute share
+    memory_per_vcpu_mb: int = 2048
+    #: hard cap on CPU share per activation regardless of memory
+    max_vcpus: float = 1.0
+    #: platform-wide concurrent activation cap (IBM default: 1000)
+    max_concurrency: int = 1000
+
+    def validate_memory(self, memory_mb: int) -> None:
+        if not self.min_memory_mb <= memory_mb <= self.max_memory_mb:
+            raise ValueError(
+                f"memory {memory_mb} MB outside platform range "
+                f"[{self.min_memory_mb}, {self.max_memory_mb}] MB"
+            )
+
+    def cpu_share(self, memory_mb: int) -> float:
+        """Fraction of a vCPU an activation with ``memory_mb`` receives."""
+        self.validate_memory(memory_mb)
+        return min(memory_mb / self.memory_per_vcpu_mb, self.max_vcpus)
+
+    def thread_speedup(self, memory_mb: int, threads: int) -> float:
+        """Effective speedup of ``threads`` threads vs one, same activation.
+
+        The platform's CPU cgroup share is :meth:`cpu_share` vCPUs no
+        matter how many threads run, so extra threads cannot add compute.
+        What they *can* do is overlap stalls (memory waits), worth a few
+        percent when the share is a full core — and they *cost* scheduler
+        contention, which dominates at fractional shares.  This reproduces
+        the Fig. 3 observation: ~1.0–1.1x speedup at 2048 MB, and *below*
+        1.0 at 1536 MB.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if threads == 1:
+            return 1.0
+        share = self.cpu_share(memory_mb)
+        overlap_bonus = 0.10 if share >= self.max_vcpus else 0.0
+        contention = 0.07 * (threads - 1) * (2.0 - share)
+        return max(1.0 + overlap_bonus - contention, 0.05)
+
+
+#: Defaults matching the paper's platform.
+IBM_CLOUD_FUNCTIONS_LIMITS = FaaSLimits()

@@ -1,0 +1,252 @@
+"""The simulated FaaS platform: registry, scheduler, containers, billing.
+
+Responsibilities:
+
+* **Registry** — functions are registered once (:meth:`FaaSPlatform.register`)
+  and invoked by name.
+* **Dispatch** — each invocation pays a warm or cold dispatch latency.
+  Warm containers are tracked per function with a keep-alive window, so
+  repeated invocations (e.g. PyWren's per-iteration maps) mostly hit warm
+  containers after the first wave.
+* **Limits** — platform-wide concurrency cap and the 10-minute duration
+  cap; an activation that overruns is interrupted and fails with
+  :class:`ActivationTimeout`.
+* **Billing** — every activation produces an
+  :class:`~repro.faas.billing.ActivationRecord` (100 ms-rounded GB-s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..sim import Environment, Event, Interrupt, Process, RandomStreams, Resource
+from .billing import ActivationRecord, FaaSBilling
+from .coldstart import ColdStartModel
+from .function import ActivationTimeout, FunctionSpec, InvocationContext
+from .limits import FaaSLimits, IBM_CLOUD_FUNCTIONS_LIMITS
+
+__all__ = ["FaaSPlatform", "Activation"]
+
+
+@dataclass
+class _WarmPool:
+    """Idle warm containers for one function (timestamps of last use)."""
+
+    idle_since: List[float] = field(default_factory=list)
+
+    def try_take(self, now: float, keep_alive: float) -> bool:
+        """Claim a still-alive warm container, evicting expired ones."""
+        self.idle_since = [t for t in self.idle_since if now - t <= keep_alive]
+        if self.idle_since:
+            self.idle_since.pop()
+            return True
+        return False
+
+    def put_back(self, now: float) -> None:
+        self.idle_since.append(now)
+
+
+class Activation:
+    """A handle to one running (or finished) function activation."""
+
+    def __init__(
+        self,
+        platform: "FaaSPlatform",
+        spec: FunctionSpec,
+        activation_id: int,
+        process: Optional[Process],
+        cold: bool,
+        submitted_at: float,
+    ):
+        self.platform = platform
+        self.function = spec.name
+        self.memory_mb = spec.memory_mb
+        self.activation_id = activation_id
+        self.process = process
+        self.cold = cold
+        self.submitted_at = submitted_at
+        #: when execution actually began (queue wait excluded) — billing
+        #: starts here, not at submission
+        self.started_at = submitted_at
+        self.record: Optional[ActivationRecord] = None
+
+    @property
+    def done(self) -> bool:
+        return self.record is not None
+
+    def result(self) -> Any:
+        """Return value of the handler; raises its exception on failure."""
+        if not self.process.triggered:
+            raise RuntimeError(f"activation {self.activation_id} still running")
+        if not self.process.ok:
+            raise self.process.value
+        return self.process.value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"<Activation {self.function}#{self.activation_id} {state}>"
+
+
+class FaaSPlatform:
+    """The platform facade: register and invoke functions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        limits: FaaSLimits = IBM_CLOUD_FUNCTIONS_LIMITS,
+        cold_start: ColdStartModel = ColdStartModel(),
+        billing: Optional[FaaSBilling] = None,
+        services: Any = None,
+        queue_when_full: bool = False,
+    ):
+        self.env = env
+        self.limits = limits
+        self.cold_start = cold_start
+        self.billing = billing if billing is not None else FaaSBilling()
+        self.services = services
+        #: at the concurrency cap: queue invocations (real platform
+        #: behaviour) instead of rejecting them with an error
+        self.queue_when_full = queue_when_full
+        self._rng = streams.stream("faas.dispatch")
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._warm: Dict[str, _WarmPool] = {}
+        self._next_activation_id = 0
+        self._running = 0
+        self._slots = Resource(env, capacity=limits.max_concurrency)
+        self.activations: List[Activation] = []
+
+    # -- registry ---------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> None:
+        spec.validate(self.limits)
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        self._functions[spec.name] = spec
+        self._warm[spec.name] = _WarmPool()
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._functions
+
+    @property
+    def running_count(self) -> int:
+        return self._running
+
+    # -- invocation ---------------------------------------------------------
+    def invoke(self, name: str, payload: Any = None) -> Activation:
+        """Start an activation of function ``name``; returns immediately.
+
+        The returned :class:`Activation` wraps a simulation process; wait
+        on ``activation.process`` inside another process, or run the
+        environment until it completes.
+        """
+        if name not in self._functions:
+            raise KeyError(f"function {name!r} is not registered")
+        spec = self._functions[name]
+        if (
+            not self.queue_when_full
+            and self._running >= self.limits.max_concurrency
+        ):
+            raise RuntimeError(
+                f"platform concurrency cap ({self.limits.max_concurrency}) reached"
+            )
+
+        activation_id = self._next_activation_id
+        self._next_activation_id += 1
+        self._running += 1
+
+        activation = Activation(
+            self, spec, activation_id, None, cold=True, submitted_at=self.env.now
+        )
+        process = self.env.process(
+            self._run_activation(spec, activation_id, payload, activation),
+            name=f"{name}#{activation_id}",
+        )
+        activation.process = process
+        self.activations.append(activation)
+        # Record billing when the process finishes, whatever the outcome.
+        process.callbacks.append(lambda _evt: self._finalize(activation))
+        return activation
+
+    def _run_activation(
+        self,
+        spec: FunctionSpec,
+        activation_id: int,
+        payload: Any,
+        activation: "Activation",
+    ) -> Generator:
+        slot = self._slots.request()
+        try:
+            yield slot
+            # Warm/cold is decided at dispatch (after any queueing delay).
+            cold = not self._warm[spec.name].try_take(
+                self.env.now, self.cold_start.keep_alive
+            )
+            activation.cold = cold
+            activation.started_at = self.env.now
+            yield self.env.timeout(
+                self.cold_start.dispatch_latency(not cold, self._rng)
+            )
+            ctx = InvocationContext(
+                self.env,
+                self,
+                spec.name,
+                activation_id,
+                spec.memory_mb,
+                services=self.services,
+            )
+            body = self.env.process(
+                spec.handler(ctx, payload), name=f"{spec.name}#{activation_id}.body"
+            )
+            deadline = self.env.timeout(self.limits.max_duration_s)
+            result = yield body | deadline
+            if body in result:
+                return result[body]
+            # Duration cap hit: kill the handler.
+            if body.is_alive:
+                body.interrupt(cause="duration-limit")
+                try:
+                    yield body
+                except (Interrupt, Exception):
+                    pass
+            raise ActivationTimeout(spec.name, self.limits.max_duration_s)
+        finally:
+            self._running -= 1
+            self._warm[spec.name].put_back(self.env.now)
+            self._slots.release(slot)
+
+    def _finalize(self, activation: Activation) -> None:
+        process = activation.process
+        record = ActivationRecord(
+            function=activation.function,
+            activation_id=activation.activation_id,
+            memory_mb=activation.memory_mb,
+            start=activation.started_at,
+            end=self.env.now,
+            cold=activation.cold,
+            ok=bool(process.ok),
+        )
+        activation.record = record
+        self.billing.add(record)
+        if not process.ok:
+            # The platform observed the failure; don't crash the kernel if
+            # no caller is waiting (failed activations are a normal FaaS
+            # outcome surfaced via activation.result()).
+            process.defused = True
+
+    # -- convenience ----------------------------------------------------
+    def invoke_and_wait(self, name: str, payload: Any = None) -> Generator:
+        """Process generator: invoke and return the handler's result."""
+        activation = self.invoke(name, payload)
+        yield activation.process
+        return activation.result()
+
+    def map(self, name: str, payloads: List[Any]) -> List[Activation]:
+        """Fan out one activation per payload (PyWren-style map)."""
+        return [self.invoke(name, p) for p in payloads]
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaaSPlatform functions={len(self._functions)} "
+            f"running={self._running} activations={len(self.activations)}>"
+        )

@@ -1,0 +1,6 @@
+"""PyWren-style map-reduce over the FaaS platform."""
+
+from .executor import PyWrenExecutor
+from .prep import normalize_via_mapreduce
+
+__all__ = ["PyWrenExecutor", "normalize_via_mapreduce"]

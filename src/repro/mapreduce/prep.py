@@ -1,0 +1,48 @@
+"""Dataset preparation as chained map-reduce jobs (§3.2).
+
+The paper normalizes datasets by chaining two PyWren map-reduce jobs:
+the first computes per-feature min/max, the second applies the scaling.
+:func:`normalize_via_mapreduce` reproduces that pipeline on this repo's
+executor (the pure kernels live in :mod:`repro.ml.data.normalize`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Tuple
+
+from ..ml.data.dataset import Dataset, LRBatch
+from ..ml.data.normalize import (
+    FeatureStats,
+    combine_stats,
+    minmax_apply,
+    minmax_stats,
+)
+from .executor import PyWrenExecutor
+
+__all__ = ["normalize_via_mapreduce"]
+
+
+def normalize_via_mapreduce(
+    executor: PyWrenExecutor, dataset: Dataset, dense_cols: int
+) -> Generator:
+    """Min-max normalize an LR dataset with two chained map-reduce jobs.
+
+    Simulation process generator; returns ``(normalized_dataset, stats)``.
+    """
+    batches = list(dataset)
+
+    # Job 1: map = per-batch min/max, reduce = combine.
+    stats: FeatureStats = yield from executor.map_reduce(
+        map_udf=lambda batch: minmax_stats(batch.X, dense_cols),
+        reduce_udf=combine_stats,
+        items=batches,
+        map_flops_hint=float(sum(b.X.nnz for b in batches)) / len(batches),
+    )
+
+    # Job 2: map = apply scaling (no reduce needed; plain map).
+    scaled = yield from executor.map(
+        lambda batch: LRBatch(minmax_apply(batch.X, stats), batch.y),
+        batches,
+        flops_hint=float(sum(b.X.nnz for b in batches)) / len(batches),
+    )
+    return Dataset(scaled, name=f"{dataset.name}-mr-norm"), stats

@@ -1,0 +1,23 @@
+"""ML substrate: sparse structures, losses, optimizers, models, data."""
+
+from . import data, models, optim
+from .loss import bce_loss, mse_loss, rmse, sigmoid
+from .metrics import accuracy, auc
+from .parameters import ModelUpdate, ParameterSet
+from .sparse import CSRMatrix, SparseDelta
+
+__all__ = [
+    "CSRMatrix",
+    "SparseDelta",
+    "ParameterSet",
+    "ModelUpdate",
+    "sigmoid",
+    "bce_loss",
+    "mse_loss",
+    "rmse",
+    "auc",
+    "accuracy",
+    "data",
+    "models",
+    "optim",
+]

@@ -1,0 +1,29 @@
+"""Datasets: containers, synthetic generators, normalization, hashing."""
+
+from .dataset import Dataset, LRBatch, PMFBatch
+from .hashing import hash_categoricals, hash_feature
+from .normalize import (
+    FeatureStats,
+    combine_stats,
+    minmax_apply,
+    minmax_stats,
+    normalize_dataset,
+)
+from .synthetic import CriteoSpec, MovieLensSpec, criteo_like, movielens_like
+
+__all__ = [
+    "Dataset",
+    "LRBatch",
+    "PMFBatch",
+    "CriteoSpec",
+    "MovieLensSpec",
+    "criteo_like",
+    "movielens_like",
+    "FeatureStats",
+    "minmax_stats",
+    "minmax_apply",
+    "combine_stats",
+    "normalize_dataset",
+    "hash_feature",
+    "hash_categoricals",
+]

@@ -1,0 +1,131 @@
+"""Mini-batch and dataset containers.
+
+Training data lives in the simulated object store as a sequence of
+mini-batch objects; workers fetch one batch per step (§3.2).  Two batch
+types cover the paper's workloads:
+
+``LRBatch``
+    Sparse feature rows (:class:`~repro.ml.sparse.CSRMatrix`) plus 0/1
+    labels — logistic regression on Criteo-like data.
+
+``PMFBatch``
+    ``(user, movie, rating)`` triples — matrix factorization on
+    MovieLens-like data.
+
+``Dataset``
+    An ordered collection of batches with helpers for staging into the
+    object store and for round-robin partitioning across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Sequence, TypeVar
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+__all__ = ["LRBatch", "PMFBatch", "Dataset"]
+
+
+@dataclass(frozen=True)
+class LRBatch:
+    """A sparse classification mini-batch."""
+
+    X: CSRMatrix
+    y: np.ndarray
+
+    def __post_init__(self):
+        if self.y.shape != (self.X.shape[0],):
+            raise ValueError(
+                f"labels shape {self.y.shape} != ({self.X.shape[0]},)"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.X.nbytes + self.y.size * 8
+
+
+@dataclass(frozen=True)
+class PMFBatch:
+    """A ratings mini-batch: parallel (user, movie, rating) arrays."""
+
+    users: np.ndarray
+    movies: np.ndarray
+    ratings: np.ndarray
+
+    def __post_init__(self):
+        if not (len(self.users) == len(self.movies) == len(self.ratings)):
+            raise ValueError("users/movies/ratings must have equal length")
+
+    @property
+    def n(self) -> int:
+        return len(self.ratings)
+
+    @property
+    def nbytes(self) -> int:
+        return self.users.size * 4 + self.movies.size * 4 + self.ratings.size * 8
+
+
+BatchT = TypeVar("BatchT")
+
+
+class Dataset(Generic[BatchT]):
+    """An ordered collection of mini-batches."""
+
+    def __init__(self, batches: Sequence[BatchT], name: str = "dataset"):
+        if not batches:
+            raise ValueError("dataset needs at least one batch")
+        self.batches: List[BatchT] = list(batches)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __getitem__(self, i: int) -> BatchT:
+        return self.batches[i]
+
+    def __iter__(self) -> Iterator[BatchT]:
+        return iter(self.batches)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(b.n for b in self.batches)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self.batches)
+
+    def partition(self, workers: int) -> List[List[int]]:
+        """Round-robin assignment of batch indices to ``workers`` parts.
+
+        Returns a list of index lists; part ``p`` holds the batches worker
+        ``p`` will cycle through.  Every batch is assigned to exactly one
+        worker (data parallelism without sample overlap).
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        parts: List[List[int]] = [[] for _ in range(workers)]
+        for i in range(len(self.batches)):
+            parts[i % workers].append(i)
+        return parts
+
+    def stage(self, object_store, bucket: str) -> List[str]:
+        """Preload all batches into the object store; returns their keys."""
+        keys = []
+        for i, batch in enumerate(self.batches):
+            key = f"{self.name}/batch-{i:05d}"
+            object_store.preload(bucket, key, batch)
+            keys.append(key)
+        return keys
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataset {self.name!r} batches={len(self.batches)} "
+            f"samples={self.n_samples}>"
+        )

@@ -1,0 +1,86 @@
+"""Feature normalization, including the map-reduce formulation.
+
+The paper normalizes datasets with min-max scaling implemented as two
+chained PyWren map-reduce jobs: job 1 computes per-feature min/max, job 2
+applies the scaling (§3.2).  ``minmax_stats``/``minmax_apply`` are the pure
+kernels; :func:`normalize_via_mapreduce` runs them through this repo's
+PyWren-like framework so the pipeline exercised is the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .dataset import Dataset, LRBatch
+
+__all__ = ["FeatureStats", "minmax_stats", "minmax_apply", "combine_stats"]
+
+
+@dataclass(frozen=True)
+class FeatureStats:
+    """Per-column min and max over some set of rows."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.minimum.nbytes + self.maximum.nbytes
+
+    def range_or_one(self) -> np.ndarray:
+        """max - min with zero ranges replaced by 1 (constant columns)."""
+        span = self.maximum - self.minimum
+        return np.where(span > 0, span, 1.0)
+
+
+def minmax_stats(X: CSRMatrix, dense_cols: int) -> FeatureStats:
+    """Column-wise min/max over the first ``dense_cols`` columns.
+
+    Only the leading dense block (numeric features) is normalized; hashed
+    categorical indicators are already 0/1.  Sparse semantics: only
+    explicitly *stored* entries are observed (implicit zeros are neither
+    counted in the stats nor rescaled — the standard practice for sparse
+    feature matrices, where shifting zeros would destroy sparsity).
+    """
+    lo = np.full(dense_cols, np.inf)
+    hi = np.full(dense_cols, -np.inf)
+    mask = X.indices < dense_cols
+    cols = X.indices[mask]
+    vals = X.data[mask]
+    if len(cols):
+        np.minimum.at(lo, cols, vals)
+        np.maximum.at(hi, cols, vals)
+    lo[np.isinf(lo)] = 0.0
+    hi[np.isinf(hi)] = 0.0
+    return FeatureStats(lo, hi)
+
+
+def combine_stats(parts: List[FeatureStats]) -> FeatureStats:
+    """Reduce step: element-wise min of mins and max of maxes."""
+    if not parts:
+        raise ValueError("need at least one partial stats")
+    lo = np.min(np.stack([p.minimum for p in parts]), axis=0)
+    hi = np.max(np.stack([p.maximum for p in parts]), axis=0)
+    return FeatureStats(lo, hi)
+
+
+def minmax_apply(X: CSRMatrix, stats: FeatureStats) -> CSRMatrix:
+    """Scale the dense block of ``X`` to [0, 1] using ``stats``."""
+    dense_cols = len(stats.minimum)
+    data = X.data.copy()
+    mask = X.indices < dense_cols
+    cols = X.indices[mask]
+    span = stats.range_or_one()
+    data[mask] = (X.data[mask] - stats.minimum[cols]) / span[cols]
+    return CSRMatrix(X.indptr, X.indices, data, X.shape)
+
+
+def normalize_dataset(dataset: Dataset, dense_cols: int) -> Tuple[Dataset, FeatureStats]:
+    """Pure (non-simulated) two-pass min-max normalization of an LR dataset."""
+    stats = combine_stats([minmax_stats(b.X, dense_cols) for b in dataset])
+    batches = [LRBatch(minmax_apply(b.X, stats), b.y) for b in dataset]
+    return Dataset(batches, name=f"{dataset.name}-norm"), stats

@@ -1,0 +1,9 @@
+"""Trainable models: logistic regression, linear regression, PMF."""
+
+from .base import Model
+from .biased_pmf import BiasedPMF
+from .linear_regression import LinearRegression
+from .logistic_regression import LogisticRegression
+from .pmf import PMF
+
+__all__ = ["Model", "LogisticRegression", "LinearRegression", "PMF", "BiasedPMF"]

@@ -1,0 +1,70 @@
+"""Model interface.
+
+A model knows how to initialize parameters, compute the mini-batch loss
+and a **sparse** gradient, and estimate the computational cost of a step
+under two kernel styles:
+
+* ``sparse_step_flops`` — the MLLess/Cython path that touches only the
+  nonzeros;
+* ``dense_step_flops`` — the PyTorch-on-CPU path that the paper found
+  dramatically slower on highly sparse data (dense ops + serialization).
+
+The flop estimates feed the simulated compute-time model; the gradient
+arithmetic itself is exact numpy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..parameters import ModelUpdate, ParameterSet
+
+__all__ = ["Model"]
+
+
+class Model(ABC):
+    """Interface shared by all trainable models."""
+
+    #: name of the reported metric ("bce" or "rmse")
+    metric_name: str = "loss"
+
+    @abstractmethod
+    def init_params(self, rng: np.random.Generator) -> ParameterSet:
+        """Fresh parameters (deterministic given ``rng``)."""
+
+    @abstractmethod
+    def gradient(
+        self, params: ParameterSet, batch
+    ) -> Tuple[float, ModelUpdate]:
+        """Mini-batch loss at ``params`` and the sparse raw gradient."""
+
+    @abstractmethod
+    def loss(self, params: ParameterSet, batch) -> float:
+        """Mini-batch loss only (no gradient)."""
+
+    # -- cost model -------------------------------------------------------
+    @abstractmethod
+    def sparse_step_flops(self, batch) -> float:
+        """Flops of one gradient step with sparsity-aware kernels."""
+
+    @abstractmethod
+    def dense_step_flops(self, batch) -> float:
+        """Flops of one gradient step with dense kernels."""
+
+    @abstractmethod
+    def dense_gradient_bytes(self) -> int:
+        """Bytes of a full dense gradient (what all-reduce must move)."""
+
+    @abstractmethod
+    def sparse_entries(self, batch) -> int:
+        """Sparse values a framework must gather/scatter for one batch.
+
+        Feeds the per-batch sparse-handling overhead of the serverful
+        baseline's cost model.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,20 @@
+"""Optimizers (SGD, momentum/Nesterov, Adam, AdaGrad) and LR schedules."""
+
+from .adam import Adam, AdaGrad
+from .rmsprop import RMSProp
+from .base import Optimizer
+from .schedules import ConstantLR, InverseSqrtLR, LRSchedule, StepDecayLR
+from .sgd import SGD, MomentumSGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "MomentumSGD",
+    "Adam",
+    "AdaGrad",
+    "RMSProp",
+    "LRSchedule",
+    "ConstantLR",
+    "InverseSqrtLR",
+    "StepDecayLR",
+]

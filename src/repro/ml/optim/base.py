@@ -1,0 +1,69 @@
+"""Optimizer interface.
+
+An optimizer maps a raw (sparse) gradient into a parameter *update*
+``u_t`` such that ``x_t = x_{t-1} + u_t`` — the form MLLess's significance
+filter and the convergence analysis work with.  Optimizer state (momentum
+buffers, Adam moments) is kept dense per tensor but only the entries
+touched by the sparse gradient are updated, matching the "lazy" sparse
+variants serverless workers must use to stay within memory and CPU limits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from ..parameters import ModelUpdate, ParameterSet
+from ..sparse import SparseDelta
+from .schedules import ConstantLR, LRSchedule
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer(ABC):
+    """Transforms gradients into updates; owns per-tensor state buffers."""
+
+    def __init__(self, lr: "LRSchedule | float"):
+        self.schedule: LRSchedule = (
+            ConstantLR(float(lr)) if isinstance(lr, (int, float)) else lr
+        )
+        self._state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def _buffer(self, slot: str, name: str, shape) -> np.ndarray:
+        """Get (allocating zeros on first use) state buffer ``slot/name``."""
+        per_slot = self._state.setdefault(slot, {})
+        if name not in per_slot:
+            per_slot[name] = np.zeros(shape)
+        return per_slot[name]
+
+    def step(self, params: ParameterSet, grad: ModelUpdate, t: int) -> ModelUpdate:
+        """The update ``u_t`` for gradient ``grad`` at global step ``t``."""
+        if t < 1:
+            raise ValueError(f"step t must be >= 1, got {t}")
+        lr = self.schedule.rate(t)
+        deltas = {}
+        for name, g in grad:
+            if name not in params:
+                raise KeyError(f"gradient names unknown tensor {name!r}")
+            deltas[name] = self._transform(name, params[name], g, lr, t)
+        return ModelUpdate(deltas)
+
+    @abstractmethod
+    def _transform(
+        self,
+        name: str,
+        tensor: np.ndarray,
+        grad: SparseDelta,
+        lr: float,
+        t: int,
+    ) -> SparseDelta:
+        """Per-tensor sparse update from a sparse gradient."""
+
+    def reset(self) -> None:
+        """Drop all state (fresh training run)."""
+        self._state.clear()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} schedule={self.schedule!r}>"

@@ -1,0 +1,137 @@
+"""Model parameter containers and sparse updates over them.
+
+``ParameterSet``
+    Named dense tensors (e.g. LR: ``{"w": (n,), "b": (1,)}``; PMF:
+    ``{"U": (n_users, r), "M": (n_movies, r)}``) with copy/arithmetic
+    helpers and a wire size for eviction-time model shipping.
+
+``ModelUpdate``
+    A named bundle of :class:`~repro.ml.sparse.SparseDelta`, one per
+    parameter tensor — the unit that flows through the KV store between
+    MLLess workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .sparse import SparseDelta
+
+__all__ = ["ParameterSet", "ModelUpdate"]
+
+
+class ParameterSet:
+    """A named collection of dense parameter tensors."""
+
+    def __init__(self, tensors: Dict[str, np.ndarray]):
+        if not tensors:
+            raise ValueError("a ParameterSet needs at least one tensor")
+        self._tensors = {
+            name: np.ascontiguousarray(t, dtype=np.float64)
+            for name, t in tensors.items()
+        }
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._tensors[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tensors
+
+    def __iter__(self) -> Iterator[Tuple[str, np.ndarray]]:
+        return iter(sorted(self._tensors.items()))
+
+    @property
+    def names(self):
+        return sorted(self._tensors)
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(t.size for t in self._tensors.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of a full dense snapshot (eviction hand-off)."""
+        return sum(t.nbytes for t in self._tensors.values())
+
+    def copy(self) -> "ParameterSet":
+        return ParameterSet({n: t.copy() for n, t in self._tensors.items()})
+
+    def shapes(self) -> Dict[str, Tuple[int, ...]]:
+        return {n: t.shape for n, t in self._tensors.items()}
+
+    def apply(self, update: "ModelUpdate") -> None:
+        """In-place add of a sparse update."""
+        for name, delta in update:
+            if name not in self._tensors:
+                raise KeyError(f"update names unknown tensor {name!r}")
+            delta.apply_to(self._tensors[name])
+
+    def average_with(self, other: "ParameterSet") -> None:
+        """In-place ``self = (self + other) / 2`` (eviction reintegration)."""
+        if other.shapes() != self.shapes():
+            raise ValueError("parameter shape mismatch")
+        for name, tensor in self._tensors.items():
+            tensor += other[name]
+            tensor *= 0.5
+
+    def distance_to(self, other: "ParameterSet") -> float:
+        """L2 distance across all tensors (replica-divergence measure)."""
+        if other.shapes() != self.shapes():
+            raise ValueError("parameter shape mismatch")
+        total = 0.0
+        for name, tensor in self._tensors.items():
+            diff = tensor - other[name]
+            total += float(np.dot(diff.ravel(), diff.ravel()))
+        return float(np.sqrt(total))
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{n}{t.shape}" for n, t in self)
+        return f"<ParameterSet {shapes}>"
+
+
+class ModelUpdate:
+    """Sparse deltas for a subset of a model's tensors."""
+
+    def __init__(self, deltas: Dict[str, SparseDelta]):
+        self._deltas = dict(deltas)
+
+    def __iter__(self) -> Iterator[Tuple[str, SparseDelta]]:
+        return iter(sorted(self._deltas.items()))
+
+    def __getitem__(self, name: str) -> SparseDelta:
+        return self._deltas[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._deltas
+
+    @property
+    def names(self):
+        return sorted(self._deltas)
+
+    @property
+    def nnz(self) -> int:
+        return sum(d.nnz for d in self._deltas.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size (what the KV store charges for)."""
+        return sum(d.nbytes for d in self._deltas.values()) or 8
+
+    def scale(self, factor: float) -> "ModelUpdate":
+        return ModelUpdate({n: d.scale(factor) for n, d in self._deltas.items()})
+
+    def merge(self, other: "ModelUpdate") -> "ModelUpdate":
+        """Entry-wise sum; tensors present in either side are kept."""
+        merged = dict(self._deltas)
+        for name, delta in other:
+            merged[name] = merged[name].merge(delta) if name in merged else delta
+        return ModelUpdate(merged)
+
+    def is_empty(self) -> bool:
+        return self.nnz == 0
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{d.nnz}" for n, d in self)
+        return f"<ModelUpdate {parts}>"

@@ -1,0 +1,261 @@
+"""Sparse data structures for training.
+
+The paper's prototype reimplements models, optimizers and **sparse data
+structures** in Cython because dense handling of highly sparse data (what
+PyTorch does here) wastes both compute and network.  This module provides
+the two structures everything else uses:
+
+``CSRMatrix``
+    Compressed sparse row feature matrix with the two kernels SGD needs:
+    ``matvec`` (X @ w) and ``rmatvec_on_support`` (Xᵀ r restricted to the
+    touched columns, returned sparse).
+
+``SparseDelta``
+    A flat-indexed sparse increment over one parameter tensor — the wire
+    format of MLLess model updates.  Supports accumulation, scaling and
+    in-place application to a dense array, and knows its wire size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix", "SparseDelta"]
+
+#: wire bytes per stored entry: 4-byte index + 8-byte value
+_INDEX_BYTES = 4
+_VALUE_BYTES = 8
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix (float64 values, int32 indices)."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self.shape
+        if len(self.indptr) != rows + 1:
+            raise ValueError(
+                f"indptr length {len(self.indptr)} != rows+1 ({rows + 1})"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data length mismatch")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= cols
+        ):
+            raise ValueError("column index out of range")
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Tuple[np.ndarray, np.ndarray]],
+        n_cols: int,
+    ) -> "CSRMatrix":
+        """Build from an iterable of (col_indices, values) per row."""
+        indptr: List[int] = [0]
+        all_idx: List[np.ndarray] = []
+        all_val: List[np.ndarray] = []
+        for cols, vals in rows:
+            cols = np.asarray(cols, dtype=np.int32)
+            vals = np.asarray(vals, dtype=np.float64)
+            if len(cols) != len(vals):
+                raise ValueError("row indices/values length mismatch")
+            all_idx.append(cols)
+            all_val.append(vals)
+            indptr.append(indptr[-1] + len(cols))
+        indices = np.concatenate(all_idx) if all_idx else np.empty(0, np.int32)
+        data = np.concatenate(all_val) if all_val else np.empty(0, np.float64)
+        return cls(np.asarray(indptr), indices, data, (len(indptr) - 1, n_cols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"need a 2-D array, got shape {dense.shape}")
+        rows = []
+        for r in range(dense.shape[0]):
+            (cols,) = np.nonzero(dense[r])
+            rows.append((cols, dense[r, cols]))
+        return cls.from_rows(rows, dense.shape[1])
+
+    # -- properties -------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: CSR arrays as shipped to a worker."""
+        return (
+            self.indptr.size * 8
+            + self.indices.size * _INDEX_BYTES
+            + self.data.size * _VALUE_BYTES
+        )
+
+    @property
+    def density(self) -> float:
+        rows, cols = self.shape
+        total = rows * cols
+        return self.nnz / total if total else 0.0
+
+    # -- kernels ---------------------------------------------------------
+    def matvec(self, w: np.ndarray) -> np.ndarray:
+        """X @ w for dense ``w`` of length n_cols."""
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != (self.shape[1],):
+            raise ValueError(f"w has shape {w.shape}, need ({self.shape[1]},)")
+        if self.nnz == 0:
+            return np.zeros(self.shape[0])
+        products = self.data * w[self.indices]
+        row_ids = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+        return np.bincount(row_ids, weights=products, minlength=self.shape[0])
+
+    def rmatvec_on_support(self, r: np.ndarray) -> "SparseDelta":
+        """Xᵀ r restricted to touched columns, as a :class:`SparseDelta`.
+
+        This is the sparse-gradient kernel: with r the per-sample residual,
+        the LR gradient only has mass on features present in the batch.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        if r.shape != (self.shape[0],):
+            raise ValueError(f"r has shape {r.shape}, need ({self.shape[0]},)")
+        if self.nnz == 0:
+            return SparseDelta.empty((self.shape[1],))
+        row_nnz = np.diff(self.indptr)
+        per_entry = self.data * np.repeat(r, row_nnz)
+        cols, inverse = np.unique(self.indices, return_inverse=True)
+        values = np.bincount(inverse, weights=per_entry, minlength=len(cols))
+        return SparseDelta(cols.astype(np.int64), values, (self.shape[1],))
+
+    def row_slice(self, start: int, stop: int) -> "CSRMatrix":
+        """The sub-matrix of rows ``[start, stop)``."""
+        start = max(0, start)
+        stop = min(self.shape[0], stop)
+        lo, hi = self.indptr[start], self.indptr[stop]
+        return CSRMatrix(
+            self.indptr[start : stop + 1] - lo,
+            self.indices[lo:hi],
+            self.data[lo:hi],
+            (stop - start, self.shape[1]),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for r in range(self.shape[0]):
+            lo, hi = self.indptr[r], self.indptr[r + 1]
+            dense[r, self.indices[lo:hi]] = self.data[lo:hi]
+        return dense
+
+    def __repr__(self) -> str:
+        return (
+            f"<CSRMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz} "
+            f"density={self.density:.4f}>"
+        )
+
+
+class SparseDelta:
+    """A sparse increment over one parameter tensor.
+
+    Indices are *flat* (``np.ravel`` order), so the same structure covers
+    vectors (LR weights) and matrices (PMF factor rows).  Instances are
+    value objects: arithmetic returns new deltas.
+    """
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, ...],
+    ):
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.shape = tuple(int(s) for s in shape)
+        if self.indices.shape != self.values.shape or self.indices.ndim != 1:
+            raise ValueError("indices/values must be 1-D and equal length")
+        size = int(np.prod(self.shape)) if self.shape else 0
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= size
+        ):
+            raise ValueError("flat index out of range for shape")
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, ...]) -> "SparseDelta":
+        return cls(np.empty(0, np.int64), np.empty(0, np.float64), shape)
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> "SparseDelta":
+        """Extract the nonzero (or masked) entries of a dense tensor."""
+        flat = np.ravel(dense)
+        if mask is not None:
+            sel = np.flatnonzero(np.ravel(mask))
+        else:
+            sel = np.flatnonzero(flat)
+        return cls(sel, flat[sel], dense.shape)
+
+    # -- properties -------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the update as MLLess would serialize it."""
+        return self.nnz * (_INDEX_BYTES + _VALUE_BYTES)
+
+    # -- arithmetic -------------------------------------------------------
+    def scale(self, factor: float) -> "SparseDelta":
+        return SparseDelta(self.indices, self.values * factor, self.shape)
+
+    def merge(self, other: "SparseDelta") -> "SparseDelta":
+        """Sum of two deltas over the same tensor (indices deduplicated)."""
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if self.nnz == 0:
+            return other
+        if other.nnz == 0:
+            return self
+        idx = np.concatenate([self.indices, other.indices])
+        val = np.concatenate([self.values, other.values])
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        summed = np.bincount(inverse, weights=val, minlength=len(uniq))
+        return SparseDelta(uniq, summed, self.shape)
+
+    def apply_to(self, dense: np.ndarray) -> None:
+        """In-place ``dense[flat idx] += values``."""
+        if dense.shape != self.shape:
+            raise ValueError(f"shape mismatch: {dense.shape} vs {self.shape}")
+        if self.nnz:
+            np.add.at(np.ravel(dense), self.indices, self.values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        self.apply_to(dense)
+        return dense
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.values))
+
+    def __repr__(self) -> str:
+        return f"<SparseDelta shape={self.shape} nnz={self.nnz}>"

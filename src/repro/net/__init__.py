@@ -1,0 +1,19 @@
+"""Network models: latency distributions and bandwidth-shared links."""
+
+from .bandwidth import Link, Nic, transfer_time
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    UniformLatency,
+)
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "Link",
+    "Nic",
+    "transfer_time",
+]

@@ -1,0 +1,100 @@
+"""Bandwidth-shared links.
+
+A :class:`Link` models a network pipe of fixed capacity (bits/s) shared by
+concurrent transfers with fair sharing approximated by serialized charging:
+each transfer holds a slot while its bytes drain at the full or divided
+rate.  Two models are provided:
+
+``Link``
+    Processor-sharing approximation: a transfer of ``n`` bytes observes a
+    rate of ``capacity / active`` where ``active`` includes itself.  This
+    captures the paper-relevant effect that pulling updates from Redis gets
+    slower as more workers pull at once (per-step communication overhead
+    grows ~linearly with the number of workers, Fig. 2a).
+
+``Nic``
+    A per-endpoint wrapper that charges both the sender's and receiver's
+    NIC, used by the VM cluster's all-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Environment
+
+__all__ = ["Link", "Nic", "transfer_time"]
+
+
+def transfer_time(size_bytes: float, rate_bits_per_s: float) -> float:
+    """Ideal (uncontended) time to move ``size_bytes`` over a link."""
+    if size_bytes < 0:
+        raise ValueError(f"size must be >= 0, got {size_bytes}")
+    if rate_bits_per_s <= 0:
+        raise ValueError(f"rate must be > 0, got {rate_bits_per_s}")
+    return (size_bytes * 8.0) / rate_bits_per_s
+
+
+class Link:
+    """A shared pipe with processor-sharing bandwidth division.
+
+    The sharing model is approximate: a transfer computes its duration when
+    it starts, using the instantaneous number of active transfers
+    (including itself).  This keeps the kernel simple while preserving the
+    qualitative contention behaviour the experiments rely on.
+    """
+
+    def __init__(self, env: Environment, capacity_bps: float, name: str = "link"):
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity_bps}")
+        self.env = env
+        self.capacity_bps = float(capacity_bps)
+        self.name = name
+        self._active = 0
+        self.bytes_moved = 0.0
+        self.transfers = 0
+
+    @property
+    def active_transfers(self) -> int:
+        return self._active
+
+    def transfer(self, size_bytes: float) -> Generator:
+        """Process generator: move ``size_bytes`` through the link.
+
+        Usage (inside a simulation process)::
+
+            yield from link.transfer(1_000_000)
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        self._active += 1
+        try:
+            rate = self.capacity_bps / self._active
+            duration = transfer_time(size_bytes, rate)
+            yield self.env.timeout(duration)
+            self.bytes_moved += size_bytes
+            self.transfers += 1
+        finally:
+            self._active -= 1
+
+    def __repr__(self) -> str:
+        gbps = self.capacity_bps / 1e9
+        return f"<Link {self.name!r} {gbps:g}Gbps active={self._active}>"
+
+
+class Nic:
+    """A host network interface: one ingress link and one egress link."""
+
+    def __init__(self, env: Environment, capacity_bps: float, host: str = "host"):
+        self.host = host
+        self.tx = Link(env, capacity_bps, name=f"{host}.tx")
+        self.rx = Link(env, capacity_bps, name=f"{host}.rx")
+
+    def send(self, size_bytes: float) -> Generator:
+        yield from self.tx.transfer(size_bytes)
+
+    def recv(self, size_bytes: float) -> Generator:
+        yield from self.rx.transfer(size_bytes)
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.host!r}>"

@@ -1,0 +1,18 @@
+"""Pricing catalog (Table 2) and composite cost metering."""
+
+from .catalog import (
+    FUNCTIONS_PRICE_PER_S,
+    PRICING,
+    InstanceType,
+    vm_price_per_second,
+)
+from .meter import CostMeter, VMLease
+
+__all__ = [
+    "InstanceType",
+    "PRICING",
+    "FUNCTIONS_PRICE_PER_S",
+    "vm_price_per_second",
+    "CostMeter",
+    "VMLease",
+]

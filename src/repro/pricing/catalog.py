@@ -1,0 +1,55 @@
+"""IBM Cloud pricing catalog (Table 2 of the paper, us-east, April 2021).
+
+| Instance type               | Role                     | Price          |
+|-----------------------------|--------------------------|----------------|
+| C1.4x4 (4 vCPU, 4 GB)       | MLLess messaging service | 0.15 $/hour    |
+| M1.2x16 (2 vCPU, 16 GB)     | Redis                    | 0.17 $/hour    |
+| Functions (1 vCPU, 2 GB)    | MLLess worker            | 3.4e-5 $/s     |
+| B1.4x8 (4 vCPU, 8 GB)       | PyTorch worker           | 0.20 $/hour    |
+
+Like the paper's cost computation, VMs are priced per second (hourly rate /
+3600) — conservative in favour of the serverful baseline — and object-store
+cost is excluded because it is identical across systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["InstanceType", "PRICING", "FUNCTIONS_PRICE_PER_S", "vm_price_per_second"]
+
+#: $/s for a 2 GB / 1 vCPU cloud function (Table 2).
+FUNCTIONS_PRICE_PER_S = 3.4e-5
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A rentable VM shape."""
+
+    name: str
+    vcpus: int
+    memory_gb: int
+    price_per_hour: float
+    role: str = ""
+    nic_bps: float = 1e9  # all instances have a 1 Gbps NIC (§6.1)
+
+    @property
+    def price_per_second(self) -> float:
+        return self.price_per_hour / 3600.0
+
+
+#: Table 2, keyed by instance name.
+PRICING: Dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        InstanceType("C1.4x4", 4, 4, 0.15, role="MLLess messaging service"),
+        InstanceType("M1.2x16", 2, 16, 0.17, role="Redis"),
+        InstanceType("B1.4x8", 4, 8, 0.20, role="PyTorch worker"),
+    ]
+}
+
+
+def vm_price_per_second(name: str) -> float:
+    """$/s for instance type ``name`` (KeyError for unknown types)."""
+    return PRICING[name].price_per_second

@@ -1,0 +1,93 @@
+"""Composite cost metering across system components.
+
+The MLLess bill = FaaS workers (per 100 ms GB-s) + the supervisor function
++ the two provisioned VMs (messaging + Redis), charged per second while the
+job runs.  The serverful bill = the VM cluster, per second.  This module
+aggregates those streams into one meter so experiments can ask "what did
+this run cost?" and "what was the cost at time t?" (Fig. 7 needs the
+latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..faas.billing import FaaSBilling
+from .catalog import PRICING, InstanceType
+
+__all__ = ["VMLease", "CostMeter"]
+
+
+@dataclass
+class VMLease:
+    """One VM rented from ``start`` until ``end`` (None = still running)."""
+
+    instance: InstanceType
+    start: float
+    end: Optional[float] = None
+
+    def cost_up_to(self, time: float) -> float:
+        if time <= self.start:
+            return 0.0
+        end = time if self.end is None else min(self.end, time)
+        return max(end - self.start, 0.0) * self.instance.price_per_second
+
+    def cost(self) -> float:
+        if self.end is None:
+            raise ValueError("lease still open; use cost_up_to(time)")
+        return self.cost_up_to(self.end)
+
+
+@dataclass
+class CostMeter:
+    """Aggregated cost of a run: FaaS billing plus VM leases."""
+
+    faas: Optional[FaaSBilling] = None
+    leases: List[VMLease] = field(default_factory=list)
+
+    def lease(self, instance_name: str, start: float) -> VMLease:
+        """Open a lease on instance type ``instance_name`` at ``start``."""
+        lease = VMLease(PRICING[instance_name], start)
+        self.leases.append(lease)
+        return lease
+
+    def release(self, lease: VMLease, end: float) -> None:
+        if lease.end is not None:
+            raise ValueError("lease already closed")
+        if end < lease.start:
+            raise ValueError(f"end {end} precedes start {lease.start}")
+        lease.end = end
+
+    def close_all(self, end: float) -> None:
+        for lease in self.leases:
+            if lease.end is None:
+                lease.end = end
+
+    def total_cost(self, up_to: Optional[float] = None) -> float:
+        """Total $ cost; with ``up_to``, the cost accrued by that time."""
+        vm = sum(
+            l.cost() if up_to is None else l.cost_up_to(up_to) for l in self.leases
+        )
+        if self.faas is None:
+            return vm
+        fa = (
+            self.faas.total_cost()
+            if up_to is None
+            else self.faas.cost_up_to(up_to)
+        )
+        return vm + fa
+
+    def breakdown(self, up_to: Optional[float] = None) -> Dict[str, float]:
+        """Cost per component name."""
+        out: Dict[str, float] = {}
+        for lease in self.leases:
+            cost = lease.cost() if up_to is None else lease.cost_up_to(up_to)
+            out[lease.instance.name] = out.get(lease.instance.name, 0.0) + cost
+        if self.faas is not None:
+            out["functions"] = (
+                self.faas.total_cost()
+                if up_to is None
+                else self.faas.cost_up_to(up_to)
+            )
+        return out

@@ -1,0 +1,396 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete process-based DES engine in the style of SimPy,
+written from scratch so the whole cloud substrate (FaaS platform, storage
+services, VM clusters) can run on a deterministic simulated clock.
+
+The central pieces are:
+
+``Environment``
+    Owns the simulated clock and the pending-event queue, and drives the
+    simulation forward with :meth:`Environment.run` / :meth:`Environment.step`.
+
+``Event``
+    A one-shot occurrence with a value.  Processes wait on events by
+    yielding them.
+
+``Process``
+    Wraps a Python generator.  Each ``yield`` hands an event back to the
+    kernel; the process resumes when that event fires.  A ``Process`` is
+    itself an event that triggers when the generator returns, so processes
+    compose (a process can wait for another process).
+
+Determinism: events scheduled for the same simulated time fire in FIFO
+order of scheduling (ties broken by a monotonically increasing sequence
+number), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party may attach a ``cause`` describing why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered event whose
+# value happens to be ``None``.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it and schedules its callbacks to run at the current simulated
+    time.  Once triggered, an event cannot be triggered again.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set by the kernel when a failure was delivered to at least one
+        #: waiter (or explicitly defused), so unhandled failures can be
+        #: reported instead of silently dropped.
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (``callbacks`` is then ``None``)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded.  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see the exception re-raised at their
+        ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        from .events import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        from .events import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a :class:`Process` at spawn time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator drives the process: every value it ``yield``\\ s must be
+    an :class:`Event`; the process suspends until that event triggers.  If
+    the event failed, its exception is re-raised inside the generator so it
+    can be caught with ordinary ``try/except``.
+
+    The process itself is an event that succeeds with the generator's
+    return value (or fails with its uncaught exception).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from the event currently waited on, then schedule an
+        # immediate resumption that raises Interrupt inside the generator.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event = Event(self.env)
+        event.callbacks.append(self._resume)
+        event.fail(Interrupt(cause))
+        event.defused = True
+
+    # -- kernel interface -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event is None or event._ok:
+                    value = None if event is None else event._value
+                    next_event = self._generator.send(value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                env._active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending (or triggered but not yet processed):
+                # register and suspend.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                env._active_process = None
+                return
+
+            # Event already processed: feed its value straight back in.
+            event = next_event
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []  # heap of (time, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being executed, if any."""
+        return self._active_process
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> "Condition":
+        from .events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> "Condition":
+        from .events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # A failure nobody waited on: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers; its value is returned).
+        """
+        stop_at = float("inf")
+        stop_at_given = False
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_callback)
+            elif stop_event.triggered:
+                return stop_event._value if stop_event._ok else None
+        else:
+            stop_at = float(until)
+            stop_at_given = True
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} lies in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run() finished with no remaining events, but the 'until' "
+                "event was never triggered"
+            )
+        if stop_event is None and stop_at_given:
+            self._now = stop_at
+        return None
+
+    def _stop_callback(self, event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

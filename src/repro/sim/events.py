@@ -1,0 +1,86 @@
+"""Composite events: wait for *all* or *any* of a set of events.
+
+These mirror SimPy's condition events.  ``AllOf`` succeeds when every
+constituent event has succeeded; ``AnyOf`` when at least one has.  Either
+fails as soon as any constituent fails, propagating the exception.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from .core import Environment, Event
+
+__all__ = ["Condition", "AllOf", "AnyOf"]
+
+
+class Condition(Event):
+    """An event triggered by a predicate over constituent events.
+
+    The value of a condition is a dict mapping each *triggered* constituent
+    event to its value, in trigger order, so callers can see exactly which
+    events fired (useful with :class:`AnyOf`).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[List[Event], int], bool],
+        events: List[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(self._collect())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                # Already processed.
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> Dict[Event, Any]:
+        # Only *processed* events count: a Timeout carries its value from
+        # creation, so "triggered" alone would leak future events into the
+        # result of an AnyOf that fired early.
+        return {
+            e: e.value
+            for e in self._events
+            if e.processed and e.triggered and e.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Succeeds when every event in ``events`` has succeeded."""
+
+    def __init__(self, env: Environment, events: List[Event]):
+        super().__init__(env, lambda evts, count: count == len(evts), events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as one event in ``events`` has succeeded."""
+
+    def __init__(self, env: Environment, events: List[Event]):
+        super().__init__(env, lambda evts, count: count >= 1, events)

@@ -1,0 +1,101 @@
+"""Time-series trace collection for simulation runs.
+
+A :class:`Monitor` records ``(sim_time, value)`` samples under named
+series.  Experiment harnesses use it to collect loss curves, worker
+counts, queue depths and cost over simulated time, and to compute summary
+statistics without every component re-implementing bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor", "Series"]
+
+
+@dataclass
+class Series:
+    """One named time series of (time, value) samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time {time} precedes last "
+                f"sample at {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(self.values))
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: latest value recorded at or before ``time``."""
+        times = np.asarray(self.times)
+        idx = int(np.searchsorted(times, time, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"series {self.name!r} has no sample before {time}")
+        return self.values[idx]
+
+    def time_to_reach(self, threshold: float, descending: bool = True) -> Optional[float]:
+        """First time the series crosses ``threshold``.
+
+        With ``descending=True`` (the loss-curve convention), returns the
+        first time a value <= threshold is recorded; otherwise >=.
+        """
+        for t, v in zip(self.times, self.values):
+            if (v <= threshold) if descending else (v >= threshold):
+                return t
+        return None
+
+    def integral(self) -> float:
+        """Trapezoidal integral of the series over its time span."""
+        if len(self.times) < 2:
+            return 0.0
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.values, self.times))
+
+
+class Monitor:
+    """A registry of named series attached to a simulation run."""
+
+    def __init__(self):
+        self._series: Dict[str, Series] = {}
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).append(time, value)
+
+    def series(self, name: str) -> Series:
+        if name not in self._series:
+            self._series[name] = Series(name)
+        return self._series[name]
+
+    def names(self) -> Sequence[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(s)}]" for n, s in sorted(self._series.items()))
+        return f"<Monitor {parts}>"

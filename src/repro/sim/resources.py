@@ -1,0 +1,198 @@
+"""Shared resources for simulation processes.
+
+``Resource``
+    A counted resource (e.g. vCPU slots, connection pools).  Processes
+    ``yield resource.request()`` to acquire a unit and call
+    ``resource.release(req)`` (or use the request as a context manager via
+    the two-phase pattern) to give it back.  FIFO granting.
+
+``Store``
+    An unbounded-or-bounded FIFO buffer of Python objects, the building
+    block for queues and mailboxes.
+
+``Container``
+    A continuous quantity (e.g. bytes of budget) with put/get amounts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending acquisition of one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the wait queue."""
+        if not self.triggered:
+            try:
+                self.resource._waiters.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event fires when granted."""
+        return Request(self)
+
+    def _request(self, req: Request) -> None:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiters.append(req)
+
+    def release(self, req: Request) -> None:
+        """Return one unit previously granted to ``req``."""
+        if not req.triggered:
+            req.cancel()
+            return
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching grant")
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO object buffer with optionally bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of buffered items (oldest first)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event fires once there is room."""
+        event = Event(self.env)
+        event.item = item
+        if len(self._items) < self.capacity:
+            self._do_put(event)
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        event = Event(self.env)
+        if self._items:
+            self._do_get(event)
+        else:
+            self._getters.append(event)
+        return event
+
+    def _do_put(self, event: Event) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(event.item)
+        else:
+            self._items.append(event.item)
+        event.succeed()
+
+    def _do_get(self, event: Event) -> None:
+        event.succeed(self._items.popleft())
+        if self._putters and len(self._items) < self.capacity:
+            putter = self._putters.popleft()
+            self._do_put(putter)
+
+
+class Container:
+    """A continuous quantity with blocking ``put``/``get`` of amounts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque = deque()
+        self._putters: Deque = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        event.amount = amount
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        event.amount = amount
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and self._level + self._putters[0].amount <= self.capacity:
+                putter = self._putters.popleft()
+                self._level += putter.amount
+                putter.succeed()
+                progress = True
+            if self._getters and self._level >= self._getters[0].amount:
+                getter = self._getters.popleft()
+                self._level -= getter.amount
+                getter.succeed(getter.amount)
+                progress = True

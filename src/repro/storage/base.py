@@ -1,0 +1,88 @@
+"""Common machinery for simulated storage services.
+
+Every service (object store, KV store, message queue) charges each request
+
+* a per-request latency drawn from a :class:`~repro.net.LatencyModel`, and
+* a transfer time for the payload bytes over the service's shared
+  :class:`~repro.net.Link` (so concurrent requests contend), and
+
+records per-operation metrics.  Subclasses implement the data semantics;
+this module owns the timing and accounting so they all behave consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator
+
+import numpy as np
+
+from ..net import LatencyModel, Link
+from ..sim import Environment, RandomStreams
+from .sizing import payload_size
+
+__all__ = ["ServiceMetrics", "StorageService"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Request counts and byte volumes per operation type."""
+
+    requests: Dict[str, int] = field(default_factory=dict)
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    busy_time: float = 0.0
+
+    def count(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests.values())
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": self.total_requests,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "busy_time": self.busy_time,
+        }
+
+
+class StorageService:
+    """Base class: request timing, contention and metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        latency: LatencyModel,
+        bandwidth_bps: float,
+        name: str,
+    ):
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self.link = Link(env, bandwidth_bps, name=f"{name}.link")
+        self.metrics = ServiceMetrics()
+        self._rng: np.random.Generator = streams.stream(f"storage.{name}")
+
+    def _charge(self, op: str, payload_bytes: float, inbound: bool) -> Generator:
+        """Process generator: charge latency + transfer for one request."""
+        start = self.env.now
+        self.metrics.count(op)
+        yield self.env.timeout(self.latency.sample(self._rng))
+        yield from self.link.transfer(payload_bytes)
+        if inbound:
+            self.metrics.bytes_in += payload_bytes
+        else:
+            self.metrics.bytes_out += payload_bytes
+        self.metrics.busy_time += self.env.now - start
+
+    @staticmethod
+    def size_of(obj) -> int:
+        """Wire size of a payload (see :func:`payload_size`)."""
+        return payload_size(obj)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

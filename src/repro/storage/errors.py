@@ -1,0 +1,34 @@
+"""Exceptions raised by the simulated storage services."""
+
+from __future__ import annotations
+
+__all__ = ["StorageError", "KeyNotFound", "BucketNotFound", "QueueClosed"]
+
+
+class StorageError(Exception):
+    """Base class for storage-service errors."""
+
+
+class KeyNotFound(StorageError):
+    """A GET referenced a key/object that does not exist."""
+
+    def __init__(self, key: str, where: str = "store"):
+        super().__init__(f"key {key!r} not found in {where}")
+        self.key = key
+        self.where = where
+
+
+class BucketNotFound(StorageError):
+    """An object-store operation referenced an unknown bucket."""
+
+    def __init__(self, bucket: str):
+        super().__init__(f"bucket {bucket!r} not found")
+        self.bucket = bucket
+
+
+class QueueClosed(StorageError):
+    """An operation was attempted on a closed message queue."""
+
+    def __init__(self, queue: str):
+        super().__init__(f"queue {queue!r} is closed")
+        self.queue = queue

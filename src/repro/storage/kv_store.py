@@ -1,0 +1,117 @@
+"""Simulated low-latency key-value store (Redis stand-in).
+
+MLLess exchanges model updates through this service: each worker PUTs its
+(possibly significance-filtered) update and pulls the others' updates every
+step.  The store runs on a provisioned VM (M1.2x16 in Table 2), so its cost
+is part of the MLLess bill and its NIC is a genuine contention point — the
+per-step communication overhead that grows with the worker count (Fig. 2a)
+comes from here.
+
+Semantics implemented: GET/SET/DELETE, atomic counters, append-only lists
+(RPUSH/LRANGE) used for update logs, and EXISTS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..net import LatencyModel, LognormalLatency
+from ..sim import Environment, RandomStreams
+from .base import StorageService
+from .errors import KeyNotFound
+
+__all__ = ["KVStore"]
+
+#: Same-zone Redis round trip: median 0.9 ms.
+DEFAULT_LATENCY = LognormalLatency(median=0.0009, sigma=0.25, cap=0.05)
+#: The Redis VM has a 1 Gbps NIC (Table 2 / §6.1 setup).
+DEFAULT_BANDWIDTH_BPS = 1e9
+
+
+class KVStore(StorageService):
+    """In-memory KV store with request-level timing and list ops."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        name: str = "redis",
+    ):
+        super().__init__(env, streams, latency, bandwidth_bps, name)
+        self._data: Dict[str, Any] = {}
+        self._lists: Dict[str, List[Any]] = {}
+
+    # -- plain keys ------------------------------------------------------
+    def set(self, key: str, value: Any) -> Generator:
+        yield from self._charge("set", self.size_of(value), inbound=True)
+        self._data[key] = value
+
+    def get(self, key: str) -> Generator:
+        if key not in self._data:
+            raise KeyNotFound(key, where=self.name)
+        value = self._data[key]
+        yield from self._charge("get", self.size_of(value), inbound=False)
+        return value
+
+    def get_or_none(self, key: str) -> Generator:
+        """GET that returns ``None`` for a missing key instead of raising."""
+        value = self._data.get(key)
+        yield from self._charge("get", self.size_of(value), inbound=False)
+        return value
+
+    def delete(self, key: str) -> Generator:
+        yield from self._charge("delete", 0, inbound=True)
+        self._data.pop(key, None)
+        self._lists.pop(key, None)
+
+    def exists(self, key: str) -> Generator:
+        yield from self._charge("exists", 8, inbound=False)
+        return key in self._data or key in self._lists
+
+    def incr(self, key: str, amount: int = 1) -> Generator:
+        """Atomic integer increment; generator returns the new value."""
+        yield from self._charge("incr", 16, inbound=True)
+        new = int(self._data.get(key, 0)) + amount
+        self._data[key] = new
+        return new
+
+    # -- lists (update logs) ----------------------------------------------
+    def rpush(self, key: str, value: Any) -> Generator:
+        """Append ``value``; generator returns the new list length."""
+        yield from self._charge("rpush", self.size_of(value), inbound=True)
+        self._lists.setdefault(key, []).append(value)
+        return len(self._lists[key])
+
+    def llen(self, key: str) -> Generator:
+        yield from self._charge("llen", 8, inbound=False)
+        return len(self._lists.get(key, []))
+
+    def lrange(self, key: str, start: int, stop: int) -> Generator:
+        """Slice ``[start, stop)`` of the list; generator returns the items.
+
+        Unlike Redis's inclusive LRANGE, this uses Python slice semantics —
+        simpler for callers that track a read cursor.
+        """
+        items = self._lists.get(key, [])[start:stop]
+        size = sum(self.size_of(v) for v in items) if items else 8
+        yield from self._charge("lrange", size, inbound=False)
+        return items
+
+    # -- synchronous introspection (no time charged) ----------------------
+    def peek(self, key: str) -> Any:
+        if key in self._data:
+            return self._data[key]
+        raise KeyNotFound(key, where=self.name)
+
+    def peek_list(self, key: str) -> List[Any]:
+        return list(self._lists.get(key, []))
+
+    def flush(self) -> None:
+        """Drop all data (between experiments); no time charged."""
+        self._data.clear()
+        self._lists.clear()
+
+    def key_count(self) -> int:
+        return len(self._data) + len(self._lists)

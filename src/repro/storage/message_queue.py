@@ -1,0 +1,132 @@
+"""Simulated messaging service (RabbitMQ stand-in).
+
+MLLess uses the message queue for small control messages: update
+announcements between workers, loss/statistics reports to the supervisor,
+and supervisor commands (scale-in orders, termination).  The broker runs on
+a provisioned C1.4x4 VM (Table 2), so it contributes to MLLess's bill.
+
+The model offers named queues with publish/consume.  Consumption is
+blocking: a consumer's ``get`` event fires when a message is available,
+after the delivery latency.  Topic fan-out is provided by
+:class:`Exchange`, which copies a published message into every bound queue
+(how worker broadcasts reach all peers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..net import LatencyModel, LognormalLatency
+from ..sim import Environment, RandomStreams, Store
+from .base import StorageService
+from .errors import QueueClosed
+
+__all__ = ["MessageQueue", "Exchange"]
+
+#: Same-zone AMQP publish+deliver: median 1.5 ms.
+DEFAULT_LATENCY = LognormalLatency(median=0.0015, sigma=0.3, cap=0.05)
+#: The broker VM has a 1 Gbps NIC.
+DEFAULT_BANDWIDTH_BPS = 1e9
+
+
+class MessageQueue(StorageService):
+    """Named FIFO queues with timed publish and blocking consume."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        name: str = "rabbitmq",
+    ):
+        super().__init__(env, streams, latency, bandwidth_bps, name)
+        self._queues: Dict[str, Store] = {}
+        self._closed: Dict[str, bool] = {}
+
+    def declare(self, queue: str) -> None:
+        """Create ``queue`` if it does not exist (idempotent)."""
+        if queue not in self._queues:
+            self._queues[queue] = Store(self.env)
+            self._closed[queue] = False
+
+    def _store(self, queue: str) -> Store:
+        self.declare(queue)
+        if self._closed[queue]:
+            raise QueueClosed(queue)
+        return self._queues[queue]
+
+    def publish(self, queue: str, message: Any) -> Generator:
+        """Process generator: deliver ``message`` into ``queue``."""
+        store = self._store(queue)
+        yield from self._charge("publish", self.size_of(message), inbound=True)
+        store.put(message)  # unbounded store: put never blocks
+
+    def consume(self, queue: str) -> Generator:
+        """Process generator: block until a message arrives, return it."""
+        store = self._store(queue)
+        message = yield store.get()
+        yield from self._charge("consume", self.size_of(message), inbound=False)
+        return message
+
+    def try_consume(self, queue: str) -> Generator:
+        """Non-blocking consume; returns ``None`` when the queue is empty."""
+        store = self._store(queue)
+        if len(store) == 0:
+            yield from self._charge("poll", 8, inbound=False)
+            return None
+        message = yield store.get()
+        yield from self._charge("consume", self.size_of(message), inbound=False)
+        return message
+
+    def drain(self, queue: str) -> Generator:
+        """Consume every currently queued message; returns a list."""
+        store = self._store(queue)
+        messages: List[Any] = []
+        while len(store) > 0:
+            messages.append((yield store.get()))
+        size = sum(self.size_of(m) for m in messages) if messages else 8
+        yield from self._charge("drain", size, inbound=False)
+        return messages
+
+    def close(self, queue: str) -> None:
+        """Refuse further operations on ``queue``."""
+        self.declare(queue)
+        self._closed[queue] = True
+
+    def depth(self, queue: str) -> int:
+        """Messages currently waiting in ``queue`` (no time charged)."""
+        self.declare(queue)
+        return len(self._queues[queue])
+
+
+class Exchange:
+    """Topic fan-out: one publish copies the message to all bound queues."""
+
+    def __init__(self, mq: MessageQueue, name: str):
+        self.mq = mq
+        self.name = name
+        self._bindings: List[str] = []
+
+    def bind(self, queue: str) -> None:
+        self.mq.declare(queue)
+        if queue not in self._bindings:
+            self._bindings.append(queue)
+
+    def unbind(self, queue: str) -> None:
+        if queue in self._bindings:
+            self._bindings.remove(queue)
+
+    @property
+    def bindings(self) -> List[str]:
+        return list(self._bindings)
+
+    def publish(self, message: Any, exclude: str = "") -> Generator:
+        """Deliver ``message`` to every bound queue except ``exclude``."""
+        for queue in list(self._bindings):
+            if queue == exclude:
+                continue
+            yield from self.mq.publish(queue, message)
+
+    def __repr__(self) -> str:
+        return f"<Exchange {self.name!r} bindings={len(self._bindings)}>"

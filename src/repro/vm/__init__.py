@@ -1,0 +1,13 @@
+"""Simulated IaaS substrate: VM instances, clusters and collectives."""
+
+from .allreduce import broadcast_time, ring_allreduce_time, tree_allreduce_time
+from .cluster import VMCluster
+from .instance import VMInstance
+
+__all__ = [
+    "VMInstance",
+    "VMCluster",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+    "broadcast_time",
+]

@@ -1,0 +1,84 @@
+"""A rented VM cluster: boot, leases, and collectives.
+
+Used by the serverful (PyTorch-like) baseline.  The cluster boots its
+instances in parallel (still >1 minute wall time, which the paper's
+comparison *excludes* — runs report both with- and without-boot numbers),
+opens one :class:`~repro.pricing.VMLease` per instance, and offers an
+all-reduce whose wall time comes from :mod:`repro.vm.allreduce`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..pricing import CostMeter
+from ..sim import Environment, RandomStreams
+from .allreduce import ring_allreduce_time, tree_allreduce_time
+from .instance import VMInstance
+
+__all__ = ["VMCluster"]
+
+
+class VMCluster:
+    """A homogeneous cluster of VM instances with a shared cost meter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        instance_type: str,
+        count: int,
+        meter: Optional[CostMeter] = None,
+        name: str = "cluster",
+        collective: str = "ring",
+    ):
+        if count < 1:
+            raise ValueError(f"cluster needs >= 1 instance, got {count}")
+        if collective not in ("ring", "tree"):
+            raise ValueError(f"unknown collective {collective!r}")
+        self.env = env
+        self.name = name
+        self.collective = collective
+        self.meter = meter if meter is not None else CostMeter()
+        self.instances: List[VMInstance] = [
+            VMInstance(env, streams, instance_type, name=f"{name}-{i}")
+            for i in range(count)
+        ]
+        self._leases = []
+        self.boot_duration: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.instances)
+
+    @property
+    def total_vcpus(self) -> int:
+        return sum(vm.vcpus for vm in self.instances)
+
+    def boot(self) -> Generator:
+        """Process generator: boot all instances in parallel, open leases."""
+        start = self.env.now
+        for vm in self.instances:
+            self._leases.append(self.meter.lease(vm.itype.name, start))
+        boots = [self.env.process(vm.boot()) for vm in self.instances]
+        yield self.env.all_of(boots)
+        self.boot_duration = self.env.now - start
+
+    def shutdown(self) -> None:
+        """Close every lease at the current time (no boot-down latency)."""
+        for lease in self._leases:
+            if lease.end is None:
+                self.meter.release(lease, self.env.now)
+
+    def allreduce(self, size_bytes: float) -> Generator:
+        """Process generator: one all-reduce of ``size_bytes`` per node."""
+        bandwidth = self.instances[0].itype.nic_bps
+        if self.collective == "ring":
+            wall = ring_allreduce_time(size_bytes, self.size, bandwidth)
+        else:
+            wall = tree_allreduce_time(size_bytes, self.size, bandwidth)
+        yield self.env.timeout(wall)
+
+    def __repr__(self) -> str:
+        itype = self.instances[0].itype.name
+        return f"<VMCluster {self.name!r} {self.size}x{itype}>"

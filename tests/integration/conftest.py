@@ -1,0 +1,28 @@
+"""Shared fixtures for integration tests: a small PMF workload."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import MovieLensSpec, movielens_like
+from repro.ml.models import PMF
+from repro.ml.optim import InverseSqrtLR, MomentumSGD
+
+SMALL_SPEC = MovieLensSpec(
+    n_users=120, n_movies=100, n_ratings=8_000, rank=4, batch_size=500
+)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return movielens_like(SMALL_SPEC, seed=2)
+
+
+def make_model():
+    return PMF(
+        SMALL_SPEC.n_users, SMALL_SPEC.n_movies, rank=6, l2=0.02,
+        rating_offset=3.5,
+    )
+
+
+def make_optimizer():
+    return MomentumSGD(lr=InverseSqrtLR(8.0), momentum=0.9, nesterov=True)

@@ -1,0 +1,78 @@
+"""Integration tests for auto-tuner-driven eviction inside real runs."""
+
+import pytest
+
+from repro import AutoTunerConfig, JobConfig, run_mlless
+
+from .conftest import make_model, make_optimizer
+
+
+def tuned_config(dataset, **overrides):
+    kwargs = dict(
+        model=make_model(),
+        make_optimizer=make_optimizer,
+        dataset=dataset,
+        n_workers=6,
+        significance_v=0.7,
+        target_loss=-1.0,  # run to max_steps so the tuner has room
+        max_steps=220,
+        seed=11,
+        autotuner=AutoTunerConfig(
+            enabled=True, epoch_s=3.0, delta_s=1.5, s_threshold=0.5,
+            min_workers=2,
+        ),
+    )
+    kwargs.update(overrides)
+    return JobConfig(**kwargs)
+
+
+def test_autotuner_removes_workers(small_dataset):
+    result = run_mlless(tuned_config(small_dataset))
+    assert result.final_worker_count() < 6
+    assert result.final_worker_count() >= 2
+
+
+def test_autotuner_respects_min_workers(small_dataset):
+    config = tuned_config(small_dataset)
+    config.autotuner = AutoTunerConfig(
+        enabled=True, epoch_s=1.0, delta_s=0.5, s_threshold=1.0, min_workers=4
+    )
+    result = run_mlless(config)
+    assert result.final_worker_count() >= 4
+
+
+def test_autotuner_lowers_cost(small_dataset):
+    baseline = run_mlless(tuned_config(small_dataset, autotuner=AutoTunerConfig()))
+    tuned = run_mlless(tuned_config(small_dataset))
+    # Same number of steps to run (max_steps cap); the shrunken pool must
+    # be cheaper per step on average.
+    cost_per_step_base = baseline.total_cost / baseline.total_steps
+    cost_per_step_tuned = tuned.total_cost / tuned.total_steps
+    assert cost_per_step_tuned < cost_per_step_base
+
+
+def test_workers_series_monotonically_decreasing(small_dataset):
+    result = run_mlless(tuned_config(small_dataset))
+    _times, counts = result.monitor.series("workers").as_arrays()
+    assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+
+def test_training_still_converges_with_evictions(small_dataset):
+    result = run_mlless(tuned_config(small_dataset, target_loss=0.8,
+                                     max_steps=500))
+    assert result.converged
+
+
+def test_eviction_with_bsp_skips_reintegration(small_dataset):
+    # v=0: replicas are identical; eviction must not break the run.
+    config = tuned_config(small_dataset, significance_v=0.0)
+    result = run_mlless(config)
+    assert result.final_worker_count() < 6
+    assert result.total_steps == 220
+
+
+def test_eviction_without_reintegration_flag(small_dataset):
+    config = tuned_config(small_dataset)
+    config.reintegrate_on_evict = False
+    result = run_mlless(config)
+    assert result.final_worker_count() < 6

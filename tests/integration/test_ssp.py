@@ -1,0 +1,90 @@
+"""Integration tests for the SSP synchronization extension."""
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, run_mlless
+from repro.core import AutoTunerConfig
+
+from .conftest import make_model, make_optimizer
+
+
+def ssp_config(dataset, **overrides):
+    kwargs = dict(
+        model=make_model(),
+        make_optimizer=make_optimizer,
+        dataset=dataset,
+        n_workers=4,
+        significance_v=0.7,
+        target_loss=0.70,
+        max_steps=300,
+        seed=11,
+        sync="ssp",
+        ssp_staleness=2,
+    )
+    kwargs.update(overrides)
+    return JobConfig(**kwargs)
+
+
+def test_ssp_run_converges(small_dataset):
+    result = run_mlless(ssp_config(small_dataset))
+    assert result.converged
+    assert result.final_loss <= 0.70
+
+
+def test_ssp_faster_steps_than_bsp(small_dataset):
+    bsp = run_mlless(ssp_config(small_dataset, sync="bsp", target_loss=-1.0,
+                                max_steps=40))
+    ssp = run_mlless(ssp_config(small_dataset, ssp_staleness=3,
+                                target_loss=-1.0, max_steps=40))
+    assert ssp.mean_step_duration() < bsp.mean_step_duration()
+
+
+def test_ssp_staleness_zero_still_progresses(small_dataset):
+    result = run_mlless(ssp_config(small_dataset, ssp_staleness=0,
+                                   target_loss=-1.0, max_steps=25))
+    assert result.total_steps >= 25
+
+
+def test_ssp_single_worker_matches_bsp_exactly(small_dataset):
+    def run(sync):
+        cfg = ssp_config(small_dataset, n_workers=1, sync=sync,
+                         target_loss=-1.0, max_steps=20)
+        return run_mlless(cfg).monitor.series("loss_by_step").as_arrays()[1]
+
+    np.testing.assert_array_equal(run("ssp"), run("bsp"))
+
+
+def test_ssp_deterministic(small_dataset):
+    a = run_mlless(ssp_config(small_dataset))
+    b = run_mlless(ssp_config(small_dataset))
+    assert a.exec_time == b.exec_time
+    np.testing.assert_array_equal(a.losses()[1], b.losses()[1])
+
+
+def test_ssp_max_steps_cap(small_dataset):
+    result = run_mlless(ssp_config(small_dataset, target_loss=-1.0,
+                                   max_steps=30))
+    assert not result.converged
+    assert result.total_steps == 30
+
+
+def test_ssp_rejects_autotuner(small_dataset):
+    with pytest.raises(ValueError, match="auto-tuner"):
+        ssp_config(
+            small_dataset,
+            autotuner=AutoTunerConfig(enabled=True),
+        )
+
+
+def test_ssp_validates_staleness(small_dataset):
+    with pytest.raises(ValueError):
+        ssp_config(small_dataset, ssp_staleness=-1)
+    with pytest.raises(ValueError):
+        ssp_config(small_dataset, sync="async")
+
+
+def test_ssp_with_bsp_filter_off(small_dataset):
+    # SSP composes with v=0 (every update broadcast, no barrier).
+    result = run_mlless(ssp_config(small_dataset, significance_v=0.0))
+    assert result.converged

@@ -1,0 +1,126 @@
+"""Property-based tests for the ISP significance filter invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SignificanceFilter, threshold_at
+from repro.ml import ModelUpdate, ParameterSet
+from repro.ml.sparse import SparseDelta
+
+SIZE = 10
+
+small_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def update_sequences(draw):
+    """A short sequence of sparse updates over a SIZE-vector."""
+    n_steps = draw(st.integers(min_value=1, max_value=8))
+    seq = []
+    for _ in range(n_steps):
+        n = draw(st.integers(min_value=0, max_value=SIZE))
+        idx = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=SIZE - 1),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+        vals = draw(st.lists(small_floats, min_size=n, max_size=n))
+        seq.append(
+            ModelUpdate(
+                {
+                    "w": SparseDelta(
+                        np.asarray(idx, np.int64), np.asarray(vals), (SIZE,)
+                    )
+                }
+            )
+        )
+    return seq
+
+
+@st.composite
+def param_vectors(draw):
+    vals = draw(
+        st.lists(small_floats, min_size=SIZE, max_size=SIZE)
+    )
+    return ParameterSet({"w": np.asarray(vals)})
+
+
+@given(update_sequences(), param_vectors(),
+       st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=100)
+def test_conservation_invariant(seq, params, v):
+    """extracted + residual == total added, for any v and any sequence."""
+    filt = SignificanceFilter(v, {"w": (SIZE,)})
+    total = np.zeros(SIZE)
+    extracted = np.zeros(SIZE)
+    for t, update in enumerate(seq, start=1):
+        update["w"].apply_to(total)
+        out = filt.step(params, update, t)
+        out["w"].apply_to(extracted)
+    np.testing.assert_allclose(
+        extracted + filt.accumulated["w"], total, atol=1e-9
+    )
+
+
+@given(update_sequences(), param_vectors())
+@settings(max_examples=100)
+def test_v_zero_never_accumulates(seq, params):
+    """BSP equivalence: with v=0 the residual is always fully drained."""
+    filt = SignificanceFilter(0.0, {"w": (SIZE,)})
+    for t, update in enumerate(seq, start=1):
+        filt.step(params, update, t)
+        assert np.all(filt.accumulated["w"] == 0.0)
+
+
+@given(update_sequences(), param_vectors(),
+       st.floats(min_value=0.01, max_value=2.0))
+@settings(max_examples=100)
+def test_extracted_entries_were_significant(seq, params, v):
+    """Every broadcast entry passed the relative-significance test."""
+    filt = SignificanceFilter(v, {"w": (SIZE,)})
+    for t, update in enumerate(seq, start=1):
+        before = filt.accumulated["w"].copy()
+        update["w"].apply_to(before)  # accumulator state pre-extraction
+        out = filt.step(params, update, t)
+        v_t = threshold_at(v, t)
+        x = np.abs(params["w"]) + 1e-8
+        for i, value in zip(out["w"].indices, out["w"].values):
+            assert abs(before[i]) / x[i] > v_t
+            assert value == before[i]
+
+
+@given(update_sequences(), param_vectors(),
+       st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=100)
+def test_residual_below_threshold_after_extraction(seq, params, v):
+    """What stays local is (by construction) below the threshold."""
+    filt = SignificanceFilter(v, {"w": (SIZE,)})
+    for t, update in enumerate(seq, start=1):
+        filt.step(params, update, t)
+        v_t = threshold_at(v, t)
+        x = np.abs(params["w"]) + 1e-8
+        residual = np.abs(filt.accumulated["w"])
+        assert np.all(residual / x <= v_t + 1e-12)
+
+
+@given(st.floats(min_value=0.0, max_value=5.0),
+       st.integers(min_value=1, max_value=10_000))
+def test_threshold_monotone_decreasing_in_t(v, t):
+    assert threshold_at(v, t + 1) <= threshold_at(v, t)
+
+
+@given(update_sequences(), param_vectors())
+@settings(max_examples=50)
+def test_larger_v_extracts_no_more_than_smaller(seq, params):
+    """Stricter filters broadcast a subset of the bytes, step by step."""
+    loose = SignificanceFilter(0.1, {"w": (SIZE,)})
+    strict = SignificanceFilter(1.0, {"w": (SIZE,)})
+    loose_total = strict_total = 0
+    for t, update in enumerate(seq, start=1):
+        loose_total += loose.step(params, update, t)["w"].nnz
+        strict_total += strict.step(params, update, t)["w"].nnz
+    assert strict_total <= loose_total

@@ -1,0 +1,99 @@
+"""Property-based tests for the DES kernel and curve/EWMA math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ewma
+from repro.sim import Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=30,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    env = Environment()
+    fired = []
+
+    def proc(d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delay_list:
+        env.process(proc(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+def test_final_time_is_max_delay(delay_list):
+    env = Environment()
+    for d in delay_list:
+        env.timeout(d)
+    env.run()
+    assert env.now == max(delay_list)
+
+
+@given(delays)
+def test_same_delays_fifo_tiebreak(delay_list):
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(5.0)
+        order.append(tag)
+
+    for tag in range(len(delay_list)):
+        env.process(proc(tag))
+    env.run()
+    assert order == list(range(len(delay_list)))
+
+
+@given(delays, delays)
+def test_nested_processes_conserve_time(outer, inner):
+    """A parent waiting on children finishes at max(child end times)."""
+    env = Environment()
+
+    def child(d):
+        yield env.timeout(d)
+        return d
+
+    def parent():
+        children = [env.process(child(d)) for d in inner]
+        yield env.all_of(children)
+        return env.now
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == max(inner)
+
+
+# ------------------------------------------------------------------- EWMA
+values_lists = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=1, max_size=50,
+)
+
+
+@given(values_lists, st.floats(min_value=0.01, max_value=1.0))
+def test_ewma_bounded_by_input_range(values, alpha):
+    out = ewma(values, alpha=alpha)
+    assert out.min() >= min(values) - 1e-9
+    assert out.max() <= max(values) + 1e-9
+
+
+@given(values_lists)
+def test_ewma_alpha_one_is_identity(values):
+    np.testing.assert_allclose(ewma(values, alpha=1.0), values)
+
+
+@given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+       st.integers(min_value=1, max_value=40),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_ewma_constant_input_is_fixed_point(value, n, alpha):
+    out = ewma([value] * n, alpha=alpha)
+    np.testing.assert_allclose(out, value)

@@ -1,0 +1,130 @@
+"""Property-based tests for the sparse data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.sparse import CSRMatrix, SparseDelta
+
+SHAPE = 12  # fixed flat tensor size for delta strategies
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def deltas(draw, size=SHAPE):
+    n = draw(st.integers(min_value=0, max_value=size))
+    idx = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    vals = draw(st.lists(finite, min_size=n, max_size=n))
+    return SparseDelta(
+        np.asarray(idx, dtype=np.int64), np.asarray(vals), (size,)
+    )
+
+
+@st.composite
+def dense_matrices(draw):
+    rows = draw(st.integers(min_value=1, max_value=8))
+    cols = draw(st.integers(min_value=1, max_value=8))
+    mat = draw(
+        arrays(np.float64, (rows, cols), elements=finite)
+    )
+    mask = draw(arrays(np.bool_, (rows, cols)))
+    return mat * mask
+
+
+# ----------------------------------------------------------------- deltas
+@given(deltas(), deltas())
+def test_merge_commutative(a, b):
+    np.testing.assert_allclose(
+        a.merge(b).to_dense(), b.merge(a).to_dense(), atol=1e-9
+    )
+
+
+@given(deltas(), deltas(), deltas())
+def test_merge_associative(a, b, c):
+    left = a.merge(b).merge(c).to_dense()
+    right = a.merge(b.merge(c)).to_dense()
+    np.testing.assert_allclose(left, right, atol=1e-9)
+
+
+@given(deltas())
+def test_merge_with_empty_is_identity(a):
+    empty = SparseDelta.empty((SHAPE,))
+    np.testing.assert_allclose(a.merge(empty).to_dense(), a.to_dense())
+
+
+@given(deltas(), deltas())
+def test_merge_equals_dense_sum(a, b):
+    np.testing.assert_allclose(
+        a.merge(b).to_dense(), a.to_dense() + b.to_dense(), atol=1e-9
+    )
+
+
+@given(deltas(), finite)
+def test_scale_equals_dense_scale(a, factor):
+    np.testing.assert_allclose(
+        a.scale(factor).to_dense(), a.to_dense() * factor, rtol=1e-9
+    )
+
+
+@given(deltas())
+def test_apply_to_matches_to_dense(a):
+    buf = np.zeros(SHAPE)
+    a.apply_to(buf)
+    np.testing.assert_allclose(buf, a.to_dense())
+
+
+@given(deltas())
+def test_from_dense_roundtrip(a):
+    rebuilt = SparseDelta.from_dense(a.to_dense())
+    np.testing.assert_allclose(rebuilt.to_dense(), a.to_dense())
+
+
+@given(deltas())
+def test_nbytes_proportional_to_nnz(a):
+    assert a.nbytes == a.nnz * 12
+
+
+# -------------------------------------------------------------------- CSR
+@given(dense_matrices())
+@settings(max_examples=50)
+def test_csr_dense_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=50)
+def test_csr_matvec_matches_dense(dense):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=dense.shape[1])
+    np.testing.assert_allclose(csr.matvec(w), dense @ w, atol=1e-6, rtol=1e-9)
+
+
+@given(dense_matrices())
+@settings(max_examples=50)
+def test_csr_rmatvec_matches_dense(dense):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(1)
+    r = rng.normal(size=dense.shape[0])
+    np.testing.assert_allclose(
+        csr.rmatvec_on_support(r).to_dense(), dense.T @ r, atol=1e-6, rtol=1e-9
+    )
+
+
+@given(dense_matrices(), st.integers(min_value=0, max_value=8),
+       st.integers(min_value=0, max_value=8))
+@settings(max_examples=50)
+def test_csr_row_slice_matches_dense(dense, lo, hi):
+    csr = CSRMatrix.from_dense(dense)
+    lo, hi = sorted((min(lo, dense.shape[0]), min(hi, dense.shape[0])))
+    np.testing.assert_allclose(csr.row_slice(lo, hi).to_dense(), dense[lo:hi])

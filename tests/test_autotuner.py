@@ -1,0 +1,139 @@
+"""Unit tests for the scale-in scheduler driven by synthetic loss feeds."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoTunerConfig, ScaleInScheduler
+
+
+def feed(scheduler, losses, step_duration=1.0, start_time=0.0):
+    """Feed a loss trajectory, asking for a decision after each step."""
+    decisions = []
+    t = start_time
+    for i, loss in enumerate(losses, start=1):
+        t += step_duration
+        scheduler.observe(i, t, loss)
+        decision = scheduler.should_evict(t)
+        decisions.append(decision)
+        if decision.evict:
+            scheduler.notify_evicted()
+    return decisions
+
+
+def learning_curve(n=200, knee=40, floor=0.4):
+    steps = np.arange(n, dtype=np.float64)
+    return floor + np.exp(-steps / (knee / 3.0))
+
+
+def test_disabled_scheduler_never_evicts():
+    config = AutoTunerConfig(enabled=False)
+    scheduler = ScaleInScheduler(config, initial_workers=8)
+    decisions = feed(scheduler, learning_curve())
+    assert not any(d.evict for d in decisions)
+    assert all(d.reason == "disabled" for d in decisions)
+
+
+def test_no_eviction_before_knee():
+    config = AutoTunerConfig(enabled=True, epoch_s=5.0, delta_s=2.5)
+    scheduler = ScaleInScheduler(config, initial_workers=8)
+    # Steep, un-flattened curve: still in fast convergence.
+    steps = np.arange(30, dtype=np.float64)
+    losses = 2.0 - 0.05 * steps
+    decisions = feed(scheduler, losses)
+    assert not any(d.evict for d in decisions)
+
+
+def test_first_eviction_at_knee():
+    config = AutoTunerConfig(enabled=True, epoch_s=5.0, delta_s=2.5)
+    scheduler = ScaleInScheduler(config, initial_workers=8)
+    decisions = feed(scheduler, learning_curve())
+    evict_idx = [i for i, d in enumerate(decisions) if d.evict]
+    assert evict_idx, "expected at least one eviction"
+    first = evict_idx[0]
+    assert decisions[first].reason == "knee passed"
+    assert 10 <= first <= 100
+
+
+def test_steady_state_evictions_follow_epochs():
+    config = AutoTunerConfig(
+        enabled=True, epoch_s=10.0, delta_s=5.0, s_threshold=0.5,
+        min_workers=2,
+    )
+    scheduler = ScaleInScheduler(config, initial_workers=8)
+    decisions = feed(scheduler, learning_curve(n=300), step_duration=1.0)
+    evict_idx = [i for i, d in enumerate(decisions) if d.evict]
+    assert len(evict_idx) >= 2
+    # Steady-state evictions are spaced at least one epoch apart.
+    gaps = np.diff(evict_idx)
+    assert np.all(gaps >= config.epoch_s - 1)
+
+
+def test_never_below_min_workers():
+    config = AutoTunerConfig(
+        enabled=True, epoch_s=2.0, delta_s=1.0, s_threshold=1.0, min_workers=3
+    )
+    scheduler = ScaleInScheduler(config, initial_workers=5)
+    feed(scheduler, learning_curve(n=400))
+    assert scheduler.current_workers >= 3
+
+
+def test_high_deviation_blocks_eviction():
+    config = AutoTunerConfig(
+        enabled=True, epoch_s=5.0, delta_s=2.5, s_threshold=0.0001
+    )
+    scheduler = ScaleInScheduler(config, initial_workers=8)
+    # After the knee, make losses *rise* (the reduced pool diverges):
+    # s_delta is large positive -> above threshold -> no more evictions.
+    curve = list(learning_curve(n=80))
+    curve += list(np.linspace(curve[-1], curve[-1] + 0.5, 120))
+    feed(scheduler, curve)
+    evictions = 8 - scheduler.current_workers
+    assert evictions <= 2  # the knee one (plus at most one borderline)
+
+
+def test_observe_requires_increasing_steps():
+    scheduler = ScaleInScheduler(AutoTunerConfig(enabled=True), 4)
+    scheduler.observe(1, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        scheduler.observe(1, 1.0, 0.9)
+
+
+def test_ignore_knee_gate_evicts_early():
+    config = AutoTunerConfig(
+        enabled=True, epoch_s=5.0, delta_s=2.5, ignore_knee_gate=True
+    )
+    gated = ScaleInScheduler(
+        AutoTunerConfig(enabled=True, epoch_s=5.0, delta_s=2.5), 8
+    )
+    eager = ScaleInScheduler(config, 8)
+    losses = learning_curve(n=60)
+    d_gated = feed(gated, losses)
+    d_eager = feed(eager, losses)
+
+    def first_evict(decisions):
+        idx = [i for i, d in enumerate(decisions) if d.evict]
+        return idx[0] if idx else len(decisions)
+
+    assert first_evict(d_eager) <= first_evict(d_gated)
+
+
+def test_decisions_logged():
+    scheduler = ScaleInScheduler(AutoTunerConfig(enabled=True), 4)
+    feed(scheduler, learning_curve(n=50))
+    assert len(scheduler.decisions) == 50
+
+
+def test_initial_workers_validated():
+    with pytest.raises(ValueError):
+        ScaleInScheduler(AutoTunerConfig(), 0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AutoTunerConfig(epoch_s=0)
+    with pytest.raises(ValueError):
+        AutoTunerConfig(delta_s=30.0, epoch_s=20.0)
+    with pytest.raises(ValueError):
+        AutoTunerConfig(min_workers=0)
+    with pytest.raises(ValueError):
+        AutoTunerConfig(slow_curve_family="cubic")

@@ -1,0 +1,44 @@
+"""Unit tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_workloads(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "lr-criteo" in out and "pmf-ml10m" in out and "pmf-ml20m" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.workload == "pmf-ml10m"
+    assert args.system == "mlless"
+    assert args.workers == 12
+    assert args.v == 0.0
+    assert not args.autotune
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--workload", "bert"])
+
+
+def test_parser_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--system", "quantum"])
+
+
+def test_cli_runs_small_mlless_job(capsys):
+    code = main(
+        [
+            "--workload", "pmf-ml10m", "--workers", "4",
+            "--max-steps", "10", "--target", "-1.0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "result" in out
+    assert "cost breakdown" in out
+    assert "functions" in out

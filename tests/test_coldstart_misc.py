@@ -1,0 +1,64 @@
+"""Tests for the cold-start model and miscellaneous message paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import messages
+from repro.faas import ColdStartModel
+from repro.sim import RandomStreams
+
+
+# -------------------------------------------------------------- cold start
+def test_cold_latency_exceeds_warm():
+    model = ColdStartModel()
+    rng = np.random.default_rng(0)
+    warm = np.mean([model.warm_latency(rng) for _ in range(300)])
+    cold = np.mean([model.cold_latency(rng) for _ in range(300)])
+    assert cold > warm * 5
+
+
+def test_dispatch_latency_selects_path():
+    model = ColdStartModel()
+    warm_samples = [
+        model.dispatch_latency(True, np.random.default_rng(i)) for i in range(50)
+    ]
+    cold_samples = [
+        model.dispatch_latency(False, np.random.default_rng(i)) for i in range(50)
+    ]
+    assert np.median(cold_samples) > np.median(warm_samples)
+
+
+def test_warm_latency_near_configured_median():
+    model = ColdStartModel(warm_median=0.02, warm_sigma=0.1)
+    rng = np.random.default_rng(1)
+    samples = [model.warm_latency(rng) for _ in range(500)]
+    assert abs(np.median(samples) - 0.02) < 0.005
+
+
+def test_cold_median_scales():
+    fast = ColdStartModel(cold_median=0.1)
+    slow = ColdStartModel(cold_median=2.0)
+    rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+    fast_s = np.median([fast.cold_latency(rng1) for _ in range(200)])
+    slow_s = np.median([slow.cold_latency(rng2) for _ in range(200)])
+    assert slow_s > fast_s * 5
+
+
+# ------------------------------------------------------------ ssp messages
+def test_update_available_schema():
+    msg = messages.update_available(2, 9, True)
+    assert messages.validate(msg) == messages.UPDATE_AVAILABLE
+    assert msg["worker"] == 2 and msg["step"] == 9 and msg["has_update"]
+
+
+def test_control_schema():
+    msg = messages.control("stop")
+    assert messages.validate(msg) == messages.CONTROL
+    with pytest.raises(ValueError):
+        messages.control("dance")
+
+
+def test_streams_repr_and_registry():
+    streams = RandomStreams(seed=5)
+    streams.stream("a")
+    assert "a" in repr(streams)

@@ -1,0 +1,187 @@
+"""Unit tests for EWMA, learning-curve fitting, and knee detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CurveFitError,
+    EWMAFilter,
+    KneedleDetector,
+    ReferenceCurve,
+    SlopeKneeDetector,
+    SlowCurve,
+    ewma,
+)
+from repro.core.curves import prediction_error
+
+
+# -------------------------------------------------------------------- EWMA
+def test_ewma_filter_first_value_passthrough():
+    f = EWMAFilter(alpha=0.3)
+    assert f.value is None
+    assert f.update(10.0) == 10.0
+
+
+def test_ewma_filter_recurrence():
+    f = EWMAFilter(alpha=0.5)
+    f.update(0.0)
+    assert f.update(10.0) == 5.0
+    assert f.update(10.0) == 7.5
+
+
+def test_ewma_filter_reset():
+    f = EWMAFilter(alpha=0.5)
+    f.update(10.0)
+    f.reset()
+    assert f.value is None
+    assert f.update(4.0) == 4.0
+
+
+def test_ewma_alpha_validated():
+    with pytest.raises(ValueError):
+        EWMAFilter(alpha=0.0)
+    with pytest.raises(ValueError):
+        EWMAFilter(alpha=1.5)
+
+
+def test_ewma_batch_matches_online():
+    values = [3.0, 1.0, 4.0, 1.0, 5.0]
+    batch = ewma(values, alpha=0.4)
+    f = EWMAFilter(alpha=0.4)
+    online = [f.update(v) for v in values]
+    np.testing.assert_allclose(batch, online)
+
+
+def test_ewma_smooths_outliers():
+    values = [1.0] * 10 + [100.0] + [1.0] * 10
+    smooth = ewma(values, alpha=0.2)
+    assert smooth.max() < 25.0
+
+
+# --------------------------------------------------------- reference curve
+def synthetic_reference(theta, steps):
+    a, b, c, d = theta
+    return 1.0 / (a * steps**b + c) + d
+
+
+def test_reference_curve_recovers_synthetic_parameters():
+    steps = np.arange(1, 200, dtype=np.float64)
+    theta_true = (0.05, 1.2, 0.6, 0.5)
+    y = synthetic_reference(theta_true, steps)
+    curve = ReferenceCurve.fit(steps, y)
+    np.testing.assert_allclose(curve.predict(steps), y, rtol=1e-3)
+
+
+def test_reference_curve_prediction_beyond_fit_range():
+    steps = np.arange(1, 100, dtype=np.float64)
+    theta_true = (0.1, 1.0, 1.0, 0.4)
+    y = synthetic_reference(theta_true, steps)
+    curve = ReferenceCurve.fit(steps, y)
+    future = synthetic_reference(theta_true, np.array([150.0, 200.0]))
+    np.testing.assert_allclose(curve.predict([150.0, 200.0]), future, rtol=0.02)
+
+
+def test_reference_curve_coefficients_non_negative():
+    steps = np.arange(1, 80, dtype=np.float64)
+    rng = np.random.default_rng(0)
+    y = synthetic_reference((0.05, 1.0, 0.8, 0.5), steps) + rng.normal(
+        0, 0.002, len(steps)
+    )
+    curve = ReferenceCurve.fit(steps, y)
+    assert all(t >= 0 for t in curve.theta)
+
+
+def test_reference_curve_needs_enough_points():
+    with pytest.raises(CurveFitError):
+        ReferenceCurve.fit(np.array([1.0, 2, 3]), np.array([1.0, 0.9, 0.8]))
+
+
+def test_reference_curve_rejects_nonpositive_steps():
+    with pytest.raises(ValueError):
+        ReferenceCurve.fit(np.arange(0, 10, dtype=float), np.ones(10))
+
+
+# --------------------------------------------------------------- slow curve
+def synthetic_slow(theta, steps):
+    a, b, c, d = theta
+    return 1.0 / (a * steps**2 + b * steps + c) + d
+
+
+def test_slow_curve_recovers_synthetic():
+    steps = np.arange(1, 120, dtype=np.float64)
+    theta_true = (1e-5, 2e-3, 1.2, 0.45)
+    y = synthetic_slow(theta_true, steps)
+    curve = SlowCurve.fit(steps, y)
+    np.testing.assert_allclose(curve.predict(steps), y, rtol=1e-3)
+
+
+def test_slow_curve_origin_shift():
+    steps = np.arange(101, 220, dtype=np.float64)
+    theta_true = (1e-5, 2e-3, 1.2, 0.45)
+    y = synthetic_slow(theta_true, steps - 100)
+    curve = SlowCurve.fit(steps, y, origin=100)
+    assert curve.origin == 100
+    np.testing.assert_allclose(curve.predict(steps), y, rtol=1e-3)
+
+
+def test_slow_curve_rejects_points_before_origin():
+    with pytest.raises(ValueError):
+        SlowCurve.fit(np.arange(1, 20, dtype=float), np.ones(19), origin=50)
+
+
+def test_prediction_error_metric():
+    err = prediction_error(np.array([2.0, 4.0]), np.array([1.0, 5.0]))
+    np.testing.assert_allclose(err, [0.5, 0.25])
+
+
+# ----------------------------------------------------------- knee detection
+def make_learning_curve(knee_at=40, n=150, floor=0.4):
+    steps = np.arange(n, dtype=np.float64)
+    fast = np.exp(-steps / (knee_at / 3.0))
+    return floor + fast
+
+
+def test_slope_knee_found_near_true_knee():
+    losses = make_learning_curve(knee_at=40)
+    knee = SlopeKneeDetector(min_steps=10).detect(list(losses))
+    assert knee is not None
+    assert 15 <= knee <= 80
+
+
+def test_slope_knee_none_on_short_history():
+    losses = make_learning_curve()[:5]
+    assert SlopeKneeDetector().detect(list(losses)) is None
+
+
+def test_slope_knee_none_while_still_descending():
+    steps = np.arange(30, dtype=np.float64)
+    losses = 1.0 - 0.02 * steps  # constant steep slope, no knee
+    assert SlopeKneeDetector(slope_threshold=0.2).detect(list(losses)) is None
+
+
+def test_slope_knee_flat_curve_none():
+    assert SlopeKneeDetector().detect([1.0] * 50) is None
+
+
+def test_slope_knee_patience_validated():
+    with pytest.raises(ValueError):
+        SlopeKneeDetector(patience=0).detect([1.0] * 20)
+
+
+def test_kneedle_finds_knee():
+    losses = make_learning_curve(knee_at=40)
+    knee = KneedleDetector().detect(list(losses))
+    assert knee is not None
+    assert 10 <= knee <= 80
+
+
+def test_kneedle_none_on_flat_or_short():
+    assert KneedleDetector().detect([1.0] * 50) is None
+    assert KneedleDetector().detect([1.0, 0.5]) is None
+
+
+def test_kneedle_none_on_linear_curve():
+    steps = np.arange(100, dtype=np.float64)
+    losses = 1.0 - 0.005 * steps
+    knee = KneedleDetector(sensitivity=1.0).detect(list(losses))
+    assert knee is None

@@ -1,0 +1,93 @@
+"""Unit tests for the experiments layer: workloads, config builders."""
+
+import pytest
+
+from repro.experiments.common import build_world, mlless_config
+from repro.experiments.settings import WORKLOADS, make_workload
+from repro.ml.models import LogisticRegression, PMF
+from repro.ml.optim import Adam, MomentumSGD
+
+
+def test_registry_has_the_three_table1_workloads():
+    assert set(WORKLOADS) == {"lr-criteo", "pmf-ml10m", "pmf-ml20m"}
+
+
+def test_lr_workload_matches_table1():
+    wl = make_workload("lr-criteo")
+    assert isinstance(wl.model(), LogisticRegression)
+    assert isinstance(wl.optimizer(), Adam)
+    assert wl.metric == "bce"
+
+
+def test_pmf_workloads_match_table1():
+    for name in ("pmf-ml10m", "pmf-ml20m"):
+        wl = make_workload(name)
+        model = wl.model()
+        assert isinstance(model, PMF)
+        opt = wl.optimizer()
+        assert isinstance(opt, MomentumSGD) and opt.nesterov
+        assert wl.metric == "rmse"
+
+
+def test_ml20m_is_larger_than_ml10m():
+    m10 = make_workload("pmf-ml10m").model()
+    m20 = make_workload("pmf-ml20m").model()
+    assert m20.n_users > m10.n_users
+    assert m20.n_movies > m10.n_movies
+    assert m20.rank >= m10.rank
+
+
+def test_deep_target_is_stricter():
+    for name in WORKLOADS:
+        wl = make_workload(name)
+        assert wl.deep_target_loss < wl.target_loss
+
+
+def test_make_workload_overrides():
+    wl = make_workload("lr-criteo", target_loss=0.5, default_workers=6)
+    assert wl.target_loss == 0.5
+    assert wl.default_workers == 6
+
+
+def test_make_workload_unknown_name():
+    with pytest.raises(KeyError):
+        make_workload("gpt-17")
+
+
+def test_workload_dataset_deterministic():
+    wl = make_workload("pmf-ml10m")
+    a = wl.dataset(seed=3)
+    b = wl.dataset(seed=3)
+    import numpy as np
+
+    np.testing.assert_array_equal(a[0].ratings, b[0].ratings)
+
+
+def test_mlless_config_builder_defaults():
+    wl = make_workload("pmf-ml10m")
+    ds = wl.dataset(seed=1)
+    cfg = mlless_config(wl, n_workers=4, dataset=ds)
+    assert cfg.n_workers == 4
+    assert cfg.significance_v == 0.0
+    assert cfg.target_loss == wl.target_loss
+    assert not cfg.autotuner.enabled
+
+
+def test_mlless_config_builder_autotune_kwargs():
+    wl = make_workload("pmf-ml10m")
+    ds = wl.dataset(seed=1)
+    cfg = mlless_config(
+        wl, n_workers=4, autotune=True, dataset=ds,
+        autotuner_kwargs={"epoch_s": 99.0},
+    )
+    assert cfg.autotuner.enabled
+    assert cfg.autotuner.epoch_s == 99.0
+    assert cfg.autotuner.delta_s == 2.5  # default preserved
+
+
+def test_build_world_isolated_instances():
+    w1 = build_world(seed=1)
+    w2 = build_world(seed=1)
+    assert w1.env is not w2.env
+    assert w1.platform is not w2.platform
+    assert w1.meter.faas is w1.platform.billing

@@ -1,0 +1,75 @@
+"""Unit tests for FaaS invocation queueing at the concurrency cap."""
+
+import pytest
+
+from repro.faas import FaaSLimits, FaaSPlatform, FunctionSpec
+from repro.sim import Environment, RandomStreams
+
+
+def make_platform(cap=2, queue=True):
+    env = Environment()
+    platform = FaaSPlatform(
+        env,
+        RandomStreams(seed=0),
+        limits=FaaSLimits(max_concurrency=cap),
+        queue_when_full=queue,
+    )
+
+    def handler(ctx, payload):
+        yield from ctx.compute(1.0)
+        return ctx.now
+
+    platform.register(FunctionSpec("f", handler))
+    return env, platform
+
+
+def test_queueing_accepts_over_cap():
+    env, platform = make_platform(cap=2)
+    acts = [platform.invoke("f") for _ in range(5)]
+    env.run()
+    assert all(a.record.ok for a in acts)
+
+
+def test_queued_activations_start_later():
+    env, platform = make_platform(cap=1)
+    first = platform.invoke("f")
+    second = platform.invoke("f")
+    env.run()
+    assert second.started_at >= first.record.end
+    assert second.submitted_at == first.submitted_at == 0.0
+
+
+def test_billing_excludes_queue_wait():
+    env, platform = make_platform(cap=1)
+    platform.invoke("f")
+    queued = platform.invoke("f")
+    env.run()
+    # Duration ~ 1 s of compute + dispatch, not the ~1 s spent queued.
+    assert queued.record.duration < 2.0
+    assert queued.record.start == pytest.approx(queued.started_at)
+
+
+def test_rejecting_platform_still_raises():
+    env, platform = make_platform(cap=1, queue=False)
+    platform.invoke("f")
+    with pytest.raises(RuntimeError, match="concurrency"):
+        platform.invoke("f")
+
+
+def test_queue_drains_fifo():
+    env, platform = make_platform(cap=1)
+    acts = [platform.invoke("f") for _ in range(4)]
+    env.run()
+    starts = [a.started_at for a in acts]
+    assert starts == sorted(starts)
+
+
+def test_warm_decision_made_at_dispatch():
+    # With cap 1 and sequential dispatch, the second activation reuses the
+    # first's warm container even though both were submitted together.
+    env, platform = make_platform(cap=1)
+    a1 = platform.invoke("f")
+    a2 = platform.invoke("f")
+    env.run()
+    assert a1.cold
+    assert not a2.cold

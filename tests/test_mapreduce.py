@@ -1,0 +1,97 @@
+"""Unit tests for the PyWren-style map-reduce framework."""
+
+import numpy as np
+import pytest
+
+from repro.faas import FaaSPlatform
+from repro.mapreduce import PyWrenExecutor, normalize_via_mapreduce
+from repro.ml.data import CriteoSpec, criteo_like, normalize_dataset
+from repro.sim import Environment, RandomStreams
+from repro.storage import ObjectStore
+
+
+def make_executor():
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    cos = ObjectStore(env, streams)
+    platform = FaaSPlatform(env, streams)
+    return env, cos, PyWrenExecutor(platform, cos)
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    assert p.ok, p.value
+    return p.value
+
+
+def test_map_applies_udf_in_order():
+    env, _cos, ex = make_executor()
+    result = run(env, ex.map(lambda x: x * 10, [1, 2, 3]))
+    assert result == [10, 20, 30]
+
+
+def test_map_empty_items():
+    env, _cos, ex = make_executor()
+    assert run(env, ex.map(lambda x: x, [])) == []
+
+
+def test_map_charges_time():
+    env, _cos, ex = make_executor()
+    run(env, ex.map(lambda x: x, [1, 2]))
+    assert env.now > 0
+
+
+def test_map_flops_hint_slows_tasks():
+    env1, _c1, ex1 = make_executor()
+    run(env1, ex1.map(lambda x: x, [1]))
+    quick = ex1.platform.billing.records[-1].duration
+
+    env2, _c2, ex2 = make_executor()
+    run(env2, ex2.map(lambda x: x, [1], flops_hint=1e9))
+    slow = ex2.platform.billing.records[-1].duration
+    assert slow > quick + 10  # 1e9 flops at 2e7/s = 50 s
+
+
+def test_map_reduce_chains():
+    env, _cos, ex = make_executor()
+    total = run(
+        env,
+        ex.map_reduce(
+            map_udf=lambda x: x * x,
+            reduce_udf=sum,
+            items=[1, 2, 3, 4],
+        ),
+    )
+    assert total == 30
+
+
+def test_map_reduce_bills_activations():
+    env, _cos, ex = make_executor()
+    run(env, ex.map_reduce(lambda x: x, sum, [1, 2, 3]))
+    records = ex.platform.billing.records
+    functions = [r.function for r in records]
+    assert functions.count("pywren-map") == 3
+    assert functions.count("pywren-reduce") == 1
+
+
+def test_normalize_via_mapreduce_matches_pure_version():
+    spec = CriteoSpec(
+        n_samples=800, n_hash_buckets=200, batch_size=200, n_categorical=4
+    )
+    dataset = criteo_like(spec, seed=0)
+    pure, pure_stats = normalize_dataset(dataset, dense_cols=spec.n_numeric)
+
+    env, _cos, ex = make_executor()
+    mr, mr_stats = run(
+        env, normalize_via_mapreduce(ex, dataset, dense_cols=spec.n_numeric)
+    )
+    np.testing.assert_allclose(mr_stats.minimum, pure_stats.minimum)
+    np.testing.assert_allclose(mr_stats.maximum, pure_stats.maximum)
+    for batch_mr, batch_pure in zip(mr, pure):
+        np.testing.assert_allclose(batch_mr.X.data, batch_pure.X.data)
+
+
+def test_executor_scratch_bucket_created():
+    _env, cos, _ex = make_executor()
+    assert cos.has_bucket("pywren-scratch")

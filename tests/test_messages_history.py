@@ -1,0 +1,134 @@
+"""Unit tests for the control-message schema and RunResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunResult, perf_per_dollar
+from repro.core import messages
+from repro.pricing import CostMeter
+from repro.sim import Monitor
+
+
+# ---------------------------------------------------------------- messages
+def test_step_done_schema():
+    msg = messages.step_done(3, 7, 0.5, True, 120)
+    assert messages.validate(msg) == messages.STEP_DONE
+    assert msg["worker"] == 3 and msg["step"] == 7
+    assert msg["has_update"] is True and msg["update_nnz"] == 120
+
+
+def test_step_complete_schema():
+    msg = messages.step_complete(7, False, [0, 2], active=5, evict=2)
+    assert messages.validate(msg) == messages.STEP_COMPLETE
+    assert msg["evict"] == 2 and msg["active"] == 5
+    none_evict = messages.step_complete(7, True, [], active=5)
+    assert none_evict["evict"] is None
+
+
+def test_departed_schema():
+    msg = messages.departed(1, 9, "departed/9/1")
+    assert messages.validate(msg) == messages.DEPARTED
+
+
+def test_validate_rejects_unknown_and_malformed():
+    with pytest.raises(ValueError):
+        messages.validate({"type": "gossip"})
+    with pytest.raises(ValueError):
+        messages.validate({"no_type": 1})
+    with pytest.raises(ValueError):
+        messages.validate("not a dict")
+    incomplete = messages.step_done(0, 1, 0.1, False, 0)
+    del incomplete["loss"]
+    with pytest.raises(ValueError):
+        messages.validate(incomplete)
+
+
+# --------------------------------------------------------------- RunResult
+def make_result():
+    monitor = Monitor()
+    meter = CostMeter()
+    lease = meter.lease("B1.4x8", start=0.0)
+    # Loss decays from 1.0 to 0.4 over 100 s.
+    for i in range(11):
+        t = 10.0 * i
+        monitor.record("loss", t, 1.0 - 0.06 * i)
+        if i:
+            monitor.record("step_duration", i, 10.0)
+        monitor.record("loss_by_step", i + 1, 1.0 - 0.06 * i)
+    monitor.record("workers", 0.0, 8)
+    monitor.record("workers", 50.0, 6)
+    meter.release(lease, 100.0)
+    return RunResult(
+        system="test",
+        monitor=monitor,
+        meter=meter,
+        started_at=0.0,
+        finished_at=100.0,
+        setup_duration=30.0,
+        converged=True,
+        final_loss=0.4,
+        total_steps=11,
+    )
+
+
+def test_exec_and_wall_time():
+    r = make_result()
+    assert r.exec_time == 100.0
+    assert r.wall_time == 130.0
+
+
+def test_total_cost_and_cost_at():
+    r = make_result()
+    full = 100.0 * 0.20 / 3600
+    assert r.total_cost == pytest.approx(full)
+    assert r.cost_at(50.0) == pytest.approx(full / 2)
+
+
+def test_perf_per_dollar_metric():
+    r = make_result()
+    assert r.perf_per_dollar == pytest.approx(1.0 / (100.0 * r.total_cost))
+    with pytest.raises(ValueError):
+        perf_per_dollar(0.0, 1.0)
+    with pytest.raises(ValueError):
+        perf_per_dollar(1.0, -1.0)
+
+
+def test_time_and_cost_to_loss():
+    r = make_result()
+    assert r.time_to_loss(0.7) == pytest.approx(50.0)
+    assert r.time_to_loss(0.0) is None
+    assert r.cost_to_loss(0.7) == pytest.approx(r.cost_at(50.0))
+    assert r.cost_to_loss(-1.0) is None
+
+
+def test_best_loss_within_budget():
+    r = make_result()
+    half_budget = r.total_cost / 2
+    best = r.best_loss_within_budget(half_budget)
+    assert best == pytest.approx(0.7)
+    assert r.best_loss_within_budget(1e9) == pytest.approx(0.4)
+    assert r.best_loss_within_budget(0.0) is None
+
+
+def test_time_within_budget():
+    r = make_result()
+    half = r.time_within_budget(r.total_cost / 2)
+    assert half == pytest.approx(50.0, abs=0.5)
+    # Budget above total cost extrapolates at the average burn rate.
+    double = r.time_within_budget(r.total_cost * 2)
+    assert double == pytest.approx(200.0, rel=0.01)
+    assert r.time_within_budget(0.0) == 0.0
+
+
+def test_worker_and_step_queries():
+    r = make_result()
+    assert r.final_worker_count() == 6
+    assert r.mean_step_duration() == pytest.approx(10.0)
+    assert r.steps_per_second() == pytest.approx(0.1)
+
+
+def test_summary_fields():
+    s = make_result().summary()
+    assert s["system"] == "test"
+    assert s["converged"] is True
+    assert s["final_workers"] == 6

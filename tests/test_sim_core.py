@@ -1,0 +1,314 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_environment_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_environment_custom_initial_time():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.5)
+    env.run()
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    evt = env.event()
+    results = []
+
+    def proc():
+        value = yield evt
+        results.append(value)
+
+    env.process(proc())
+    evt.succeed(42)
+    env.run()
+    assert results == [42]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+    with pytest.raises(SimulationError):
+        evt.fail(RuntimeError("boom"))
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    evt = env.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+    with pytest.raises(SimulationError):
+        _ = evt.ok
+
+
+def test_event_fail_raises_inside_process():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    evt.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_failure_surfaces_from_run():
+    env = Environment()
+    evt = env.event()
+    evt.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc())
+    env.run()
+    assert p.ok and p.value == "done"
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+        return 99
+
+    p = env.process(proc())
+    assert env.run(until=p) == 99
+    assert env.now == 2
+
+
+def test_process_waits_for_subprocess():
+    env = Environment()
+    order = []
+
+    def child():
+        yield env.timeout(5)
+        order.append("child")
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        order.append("parent")
+        return result
+
+    p = env.process(parent())
+    env.run()
+    assert order == ["child", "parent"]
+    assert p.value == "child-result"
+
+
+def test_exception_propagates_to_waiting_parent():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("child failed")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "caught: child failed"
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    p = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+    assert not p.ok
+
+
+def test_same_time_events_fire_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_determinism_across_runs():
+    def build():
+        env = Environment()
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append((tag, env.now))
+
+        delays = [3, 1, 2, 1, 3]
+        for tag, d in enumerate(delays):
+            env.process(proc(tag, d))
+        env.run()
+        return order
+
+    assert build() == build()
+
+
+def test_interrupt_raises_in_target():
+    env = Environment()
+    events = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            events.append(("interrupted", intr.cause, env.now))
+
+    def interrupter(target):
+        yield env.timeout(3)
+        target.interrupt(cause="deadline")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert events == [("interrupted", "deadline", 3)]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+    errors = []
+
+    def proc():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except SimulationError:
+            errors.append(True)
+        yield env.timeout(0)
+
+    env.process(proc())
+    env.run()
+    assert errors == [True]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_step_without_events_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_clock_not_inf_after_run_to_exhaustion():
+    env = Environment()
+    env.timeout(2)
+    env.run()
+    assert env.now == 2.0
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc():
+        seen.append(env.active_process)
+        yield env.timeout(0)
+
+    p = env.process(proc())
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_run_until_untriggerable_event_raises():
+    env = Environment()
+    evt = env.event()  # never triggered, no other events
+    with pytest.raises(SimulationError):
+        env.run(until=evt)

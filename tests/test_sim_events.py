@@ -1,0 +1,161 @@
+"""Unit tests for composite events (AllOf/AnyOf)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_allof_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, sorted(result.values()))
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (5, ["a", "b"])
+
+
+def test_anyof_fires_on_first_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, list(result.values()))
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (1, ["fast"])
+
+
+def test_allof_empty_list_succeeds_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == {}
+
+
+def test_condition_value_maps_events_to_values():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value=10)
+        t2 = env.timeout(2, value=20)
+        result = yield env.all_of([t1, t2])
+        return (result[t1], result[t2])
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (10, 20)
+
+
+def test_and_operator_builds_allof():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1)
+        t2 = env.timeout(2)
+        yield t1 & t2
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 2
+
+
+def test_or_operator_builds_anyof():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1)
+        t2 = env.timeout(2)
+        yield t1 | t2
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 1
+
+
+def test_allof_propagates_failure():
+    env = Environment()
+    evt = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def proc():
+        try:
+            yield env.all_of([env.process(failer()), env.timeout(10)])
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == "caught inner"
+
+
+def test_anyof_with_already_processed_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="early")
+        yield t1  # process it fully
+        result = yield env.any_of([t1, env.timeout(50)])
+        return (env.now, result[t1])
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == (1, "early")
+
+
+def test_mixing_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    t1 = env1.timeout(1)
+    t2 = env2.timeout(1)
+    with pytest.raises(ValueError):
+        AllOf(env1, [t1, t2])
+
+
+def test_nested_conditions():
+    env = Environment()
+
+    def proc():
+        a = env.timeout(1)
+        b = env.timeout(2)
+        c = env.timeout(10)
+        yield (a & b) | c
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 2
+
+
+def test_anyof_does_not_cancel_losers():
+    env = Environment()
+    fired = []
+
+    def watcher(tag, delay):
+        yield env.timeout(delay)
+        fired.append(tag)
+
+    def proc():
+        w1 = env.process(watcher("fast", 1))
+        w2 = env.process(watcher("slow", 4))
+        yield w1 | w2
+
+    env.process(proc())
+    env.run()
+    assert fired == ["fast", "slow"]

@@ -1,0 +1,115 @@
+"""Unit tests for RandomStreams and Monitor/Series."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Monitor, RandomStreams, Series
+
+
+# ----------------------------------------------------------- RandomStreams
+def test_same_seed_same_stream():
+    a = RandomStreams(seed=7).stream("x").normal(size=10)
+    b = RandomStreams(seed=7).stream("x").normal(size=10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("a").normal(size=100)
+    b = streams.stream("b").normal(size=100)
+    assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x").normal(size=10)
+    b = RandomStreams(seed=2).stream("x").normal(size=10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_cached_not_restarted():
+    streams = RandomStreams(seed=0)
+    first = streams.stream("x").normal(size=5)
+    second = streams.stream("x").normal(size=5)
+    assert not np.array_equal(first, second)  # continues, doesn't reset
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = RandomStreams(seed=3)
+    f1 = base.fork(1).stream("x").normal(size=5)
+    f1_again = RandomStreams(seed=3).fork(1).stream("x").normal(size=5)
+    f2 = base.fork(2).stream("x").normal(size=5)
+    np.testing.assert_array_equal(f1, f1_again)
+    assert not np.array_equal(f1, f2)
+
+
+# ------------------------------------------------------------------ Series
+def test_series_append_and_arrays():
+    s = Series("loss")
+    s.append(0.0, 1.0)
+    s.append(1.0, 0.5)
+    times, values = s.as_arrays()
+    np.testing.assert_array_equal(times, [0.0, 1.0])
+    np.testing.assert_array_equal(values, [1.0, 0.5])
+
+
+def test_series_rejects_time_going_backwards():
+    s = Series("loss")
+    s.append(2.0, 1.0)
+    with pytest.raises(ValueError):
+        s.append(1.0, 0.5)
+
+
+def test_series_time_to_reach_descending():
+    s = Series("loss")
+    for t, v in [(0, 1.0), (1, 0.8), (2, 0.6), (3, 0.4)]:
+        s.append(t, v)
+    assert s.time_to_reach(0.6) == 2
+    assert s.time_to_reach(0.3) is None
+
+
+def test_series_time_to_reach_ascending():
+    s = Series("throughput")
+    for t, v in [(0, 1), (1, 5), (2, 9)]:
+        s.append(t, v)
+    assert s.time_to_reach(5, descending=False) == 1
+
+
+def test_series_value_at_step_function():
+    s = Series("workers")
+    s.append(0, 24)
+    s.append(10, 20)
+    s.append(20, 16)
+    assert s.value_at(0) == 24
+    assert s.value_at(9.9) == 24
+    assert s.value_at(10) == 20
+    assert s.value_at(100) == 16
+    with pytest.raises(ValueError):
+        s.value_at(-1)
+
+
+def test_series_mean_and_last():
+    s = Series("x")
+    s.append(0, 2)
+    s.append(1, 4)
+    assert s.mean() == 3
+    assert s.last() == (1, 4)
+    with pytest.raises(ValueError):
+        Series("empty").mean()
+
+
+def test_series_integral_trapezoid():
+    s = Series("x")
+    s.append(0, 0)
+    s.append(2, 2)
+    assert s.integral() == pytest.approx(2.0)
+    assert Series("tiny").integral() == 0.0
+
+
+def test_monitor_records_and_lists():
+    m = Monitor()
+    m.record("loss", 0, 1.0)
+    m.record("loss", 1, 0.9)
+    m.record("workers", 0, 8)
+    assert "loss" in m
+    assert m.names() == ["loss", "workers"]
+    assert len(m.series("loss")) == 2
