@@ -22,6 +22,16 @@ def pytest_configure(config):
     config.addinivalue_line("markers", "figure: reproduces a paper figure")
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ so ``-m "not benchmark"`` skips it."""
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     return "full" if FULL else "quick"

@@ -5,15 +5,36 @@ workers with the ISP significance filter enabled, then prints the loss
 trajectory, the execution time, and the itemized bill.
 
     python examples/quickstart.py
+    python examples/quickstart.py --faults chaos
+    python examples/quickstart.py --report /tmp/quickstart.json
 """
 
-from repro import JobConfig, run_mlless
+import argparse
+import json
+
+from repro import FAULT_PROFILES, JobConfig, run_mlless
 from repro.ml.data import MovieLensSpec, movielens_like
 from repro.ml.models import PMF
 from repro.ml.optim import InverseSqrtLR, MomentumSGD
 
 
-def main():
+def build_parser():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--faults", choices=["off"] + sorted(FAULT_PROFILES), default="off",
+        help="inject a named fault profile (seed-deterministic)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a JSON run report (summary + extras) to PATH",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    faults = None if args.faults == "off" else FAULT_PROFILES[args.faults]
+
     spec = MovieLensSpec(
         n_users=500, n_movies=400, n_ratings=40_000, batch_size=500
     )
@@ -32,6 +53,7 @@ def main():
         target_loss=0.70,       # stop at RMSE 0.70
         max_steps=500,
         seed=42,
+        faults=faults,
     )
     result = run_mlless(config)
 
@@ -48,6 +70,29 @@ def main():
     for component, cost in sorted(result.meter.breakdown().items()):
         print(f"  {component:<10s} ${cost:.5f}")
     print(f"Perf/$: {result.perf_per_dollar:,.0f}")
+
+    if faults is not None:
+        injected = int(result.extras.get("faults_injected", 0))
+        recovered = int(result.extras.get("faults_recovered", 0))
+        print(f"faults injected: {injected}, recoveries: {recovered}")
+
+    if args.report is not None:
+        report = {
+            "summary": result.summary(),
+            "extras": {k: v for k, v in sorted(result.extras.items())},
+            "faults_profile": args.faults,
+            "loss_trajectory": [
+                [round(t - result.started_at, 6), loss]
+                for t, loss in zip(times, losses)
+            ],
+            "cost_breakdown": {
+                k: round(v, 8) for k, v in sorted(result.meter.breakdown().items())
+            },
+        }
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=float)
+            fh.write("\n")
+        print(f"report written to {args.report}")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from .core import (
     perf_per_dollar,
 )
 from .experiments.common import SimWorld, build_world, run_mlless
+from .faults import FAULT_PROFILES, FaultInjector, FaultProfile
 
 __version__ = "1.0.0"
 
@@ -48,6 +49,9 @@ __all__ = [
     "run_mlless",
     "build_world",
     "SimWorld",
+    "FaultProfile",
+    "FaultInjector",
+    "FAULT_PROFILES",
     "Calibration",
     "DEFAULT_CALIBRATION",
     "__version__",

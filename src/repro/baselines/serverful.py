@@ -21,7 +21,7 @@ Following the paper's conservative accounting, VM leases are opened at
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION

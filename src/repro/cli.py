@@ -19,8 +19,9 @@ from .experiments.common import (
     run_pywren_workload,
     run_serverful_workload,
 )
-from .experiments.report import render_table
+from .experiments.report import fault_summary_rows, render_table
 from .experiments.settings import WORKLOADS, make_workload
+from .faults import FAULT_PROFILES
 
 __all__ = ["main", "build_parser"]
 
@@ -50,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the workload's deep target")
     parser.add_argument("--max-steps", type=int, default=1500)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--faults", choices=["off"] + sorted(FAULT_PROFILES), default="off",
+        help="inject a named fault profile (mlless only; seed-deterministic)",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list workloads and exit")
     return parser
@@ -84,11 +89,17 @@ def main(argv=None) -> int:
         f"running {args.workload} on {args.system} "
         f"(P={args.workers}, target {workload.metric}={target})..."
     )
+    profile = None if args.faults == "off" else FAULT_PROFILES[args.faults]
+    if profile is not None and args.system != "mlless":
+        print("--faults is only supported with --system mlless", file=sys.stderr)
+        return 2
+
     if args.system == "mlless":
         config = mlless_config(
             workload, n_workers=args.workers, v=args.v,
             autotune=args.autotune, target_loss=target,
             max_steps=args.max_steps, seed=args.seed,
+            faults=profile,
         )
         result = run_mlless(config)
     elif args.system == "serverful":
@@ -108,6 +119,9 @@ def main(argv=None) -> int:
          for k, v in sorted(result.meter.breakdown().items())],
         "cost breakdown",
     ))
+    fault_rows = fault_summary_rows(result)
+    if fault_rows:
+        print(render_table(fault_rows, f"faults ({args.faults})"))
     return 0 if result.converged or result.total_steps > 0 else 1
 
 

@@ -6,11 +6,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION
+from ..faults import FaultProfile
 from ..ml.data.dataset import Dataset
 from ..ml.models.base import Model
 from ..ml.optim.base import Optimizer
 
 __all__ = ["AutoTunerConfig", "JobConfig"]
+
+#: default per-step barrier timeout when fault tolerance is on, seconds
+DEFAULT_BARRIER_TIMEOUT_S = 15.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,26 @@ class JobConfig:
     #: called with the parameter shapes dict; None selects the paper's
     #: SignificanceFilter(significance_v)
     make_filter: Optional[Callable] = None
+    #: fault profile injected into the platform and storage services;
+    #: None (or a no-op profile) keeps the simulation byte-identical to a
+    #: run without any fault machinery
+    faults: Optional[FaultProfile] = None
+    #: force the fault-tolerance machinery on/off; None = on iff ``faults``
+    #: can actually inject something
+    fault_tolerance: Optional[bool] = None
+    #: checkpoint worker/supervisor state every N barriers (FT mode);
+    #: None = every barrier when FT is on
+    checkpoint_every_steps: Optional[int] = None
+    #: supervisor barrier timeout before it suspects lost workers or
+    #: messages; None = DEFAULT_BARRIER_TIMEOUT_S when FT is on
+    barrier_timeout_s: Optional[float] = None
+    #: driver-level relaunch budget per role (capped exponential backoff)
+    max_invoke_retries: int = 4
+    retry_backoff_base_s: float = 0.25
+    retry_backoff_cap_s: float = 4.0
+    #: barrier timeouts tolerated per step before the supervisor abandons
+    #: the missing workers and shrinks the pool
+    max_resyncs_per_step: int = 8
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -127,8 +151,45 @@ class JobConfig:
                 "the scale-in auto-tuner currently requires the BSP "
                 "barrier; disable it for SSP runs"
             )
+        if self.max_invoke_retries < 0:
+            raise ValueError(
+                f"max_invoke_retries must be >= 0, got {self.max_invoke_retries}"
+            )
+        if self.max_resyncs_per_step < 1:
+            raise ValueError(
+                f"max_resyncs_per_step must be >= 1, got {self.max_resyncs_per_step}"
+            )
+        if self.sync == "ssp" and self.ft_enabled:
+            raise ValueError(
+                "fault tolerance currently requires the BSP barrier; "
+                "disable it (or the fault profile) for SSP runs"
+            )
 
     @property
     def sync_model(self) -> str:
         """"bsp" (v == 0) or "isp"."""
         return "bsp" if self.significance_v == 0 else "isp"
+
+    # -- fault tolerance ---------------------------------------------------
+    @property
+    def ft_enabled(self) -> bool:
+        """Whether the recovery machinery (timeouts, checkpoints) is on."""
+        if self.fault_tolerance is not None:
+            return self.fault_tolerance
+        return self.faults is not None and not self.faults.is_noop()
+
+    @property
+    def barrier_timeout(self) -> Optional[float]:
+        """Supervisor consume timeout, or None when FT is off."""
+        if not self.ft_enabled:
+            return None
+        if self.barrier_timeout_s is not None:
+            return self.barrier_timeout_s
+        return DEFAULT_BARRIER_TIMEOUT_S
+
+    @property
+    def checkpoint_every(self) -> Optional[int]:
+        """Barrier-checkpoint period, or None when FT is off."""
+        if not self.ft_enabled:
+            return None
+        return self.checkpoint_every_steps or 1

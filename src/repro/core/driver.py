@@ -14,9 +14,7 @@ from typing import Any, Dict, Generator, Optional
 
 from ..faas import FaaSPlatform, FunctionSpec
 from ..pricing import CostMeter
-from ..sim import Environment
-from ..storage import Exchange
-from .config import JobConfig
+from ..sim import Environment, Interrupt
 from .history import RunResult
 from .runtime import JobRuntime
 from .ssp import ssp_supervisor_handler, ssp_worker_handler
@@ -28,6 +26,11 @@ __all__ = ["MLLessDriver"]
 #: instance types provisioned for the MLLess services (Table 2 roles)
 MESSAGING_INSTANCE = "C1.4x4"
 REDIS_INSTANCE = "M1.2x16"
+
+#: FT: after the supervisor finishes, how long the driver waits for the
+#: worker roles to drain before interrupting the stragglers (an abandoned
+#: worker may be blocked on a barrier release that will never come)
+WORKER_DRAIN_GRACE_S = 30.0
 
 
 class MLLessDriver:
@@ -87,13 +90,38 @@ class MLLessDriver:
                     name=f"role-worker-{w}",
                 )
             )
-        yield self.env.all_of(roles)
+        if config.ft_enabled:
+            # The supervisor decides when the job is over; workers that
+            # were abandoned mid-job may be blocked forever on a barrier
+            # release, so wait for them only up to a grace period, then
+            # interrupt the stragglers (their activations are still
+            # billed — FaaS charges failed activations for consumed GB-s).
+            yield roles[0]
+            workers_done = self.env.all_of(roles[1:])
+            grace = self.env.timeout(WORKER_DRAIN_GRACE_S)
+            result = yield self.env.any_of([workers_done, grace])
+            if workers_done not in result:
+                for role in roles[1:]:
+                    if role.is_alive:
+                        role.interrupt(cause="job-finished")
+                yield workers_done
+        else:
+            yield self.env.all_of(roles)
         finished_at = self.env.now
 
         self.meter.release(messaging_lease, finished_at)
         self.meter.release(redis_lease, finished_at)
 
         report = self._supervisor_report or {}
+        extras = {
+            "stop_reason_is_target": float(report.get("converged", False)),
+        }
+        if self.platform.faults is not None:
+            stats = self.platform.faults.stats
+            extras["faults_injected"] = float(stats.total_injected)
+            extras["faults_recovered"] = float(stats.total_recovered)
+            for key, value in stats.summary().items():
+                extras[key] = float(value)
         self.result = RunResult(
             system="mlless",
             monitor=runtime.monitor,
@@ -103,9 +131,7 @@ class MLLessDriver:
             converged=bool(report.get("converged")),
             final_loss=report.get("final_loss"),
             total_steps=int(report.get("steps", 0)),
-            extras={
-                "stop_reason_is_target": float(report.get("converged", False)),
-            },
+            extras=extras,
         )
         return self.result
 
@@ -139,11 +165,53 @@ class MLLessDriver:
             runtime.exchange.bind(queue)
 
     def _run_role(self, function: str, payload: Dict[str, Any]) -> Generator:
-        """Invoke ``function``; re-invoke while it asks for a relaunch."""
+        """Invoke ``function``; re-invoke while it asks for a relaunch.
+
+        With fault tolerance on, a *failed* activation (crash, timeout,
+        storage error) is also re-invoked — resuming from its checkpoint —
+        with capped exponential backoff, up to ``max_invoke_retries``
+        consecutive failures; after that a worker role is abandoned (the
+        supervisor shrinks the pool around it) while a supervisor failure
+        is fatal to the job.
+        """
+        config = self.runtime.config
+        attempt = 0
         while True:
             activation = self.platform.invoke(function, payload)
-            yield activation.process
-            result = activation.result()
+            try:
+                yield activation.process
+                result = activation.result()
+            except Interrupt:
+                # Driver shutdown: kill the live activation so it gets
+                # finalized (and billed) instead of lingering unfinished.
+                if activation.process.is_alive:
+                    activation.process.interrupt(cause="driver-shutdown")
+                return {"outcome": "abandoned", "function": function}
+            except Exception as error:
+                if not config.ft_enabled:
+                    raise
+                attempt += 1
+                if attempt > config.max_invoke_retries:
+                    if function.endswith("supervisor"):
+                        raise
+                    self.runtime.note_recovery("worker_retries_exhausted")
+                    return {
+                        "outcome": "abandoned",
+                        "function": function,
+                        "error": repr(error),
+                    }
+                self.runtime.note_recovery("invoke_retry")
+                backoff = min(
+                    config.retry_backoff_base_s * 2 ** (attempt - 1),
+                    config.retry_backoff_cap_s,
+                )
+                try:
+                    yield self.env.timeout(backoff)
+                except Interrupt:
+                    return {"outcome": "abandoned", "function": function}
+                payload = {**payload, "resume": True}
+                continue
+            attempt = 0
             if isinstance(result, dict) and result.get("outcome") == "relaunch":
                 payload = {**payload, "resume": True}
                 continue

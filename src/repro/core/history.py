@@ -9,9 +9,7 @@ the loss reachable under a fixed budget (Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from ..pricing import CostMeter
 from ..sim import Monitor
@@ -136,7 +134,7 @@ class RunResult:
         return 1.0 / self.mean_step_duration()
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out = {
             "system": self.system,
             "exec_time_s": round(self.exec_time, 3),
             "total_cost_usd": round(self.total_cost, 6),
@@ -145,3 +143,7 @@ class RunResult:
             "steps": self.total_steps,
             "final_workers": self.final_worker_count(),
         }
+        if "faults_injected" in self.extras:
+            out["faults"] = int(self.extras["faults_injected"])
+            out["recoveries"] = int(self.extras.get("faults_recovered", 0))
+        return out

@@ -25,12 +25,14 @@ __all__ = [
     "departed",
     "update_available",
     "control",
+    "resync",
     "validate",
     "STEP_DONE",
     "STEP_COMPLETE",
     "DEPARTED",
     "UPDATE_AVAILABLE",
     "CONTROL",
+    "RESYNC",
 ]
 
 STEP_DONE = "step_done"
@@ -40,6 +42,8 @@ DEPARTED = "departed"
 UPDATE_AVAILABLE = "update_available"
 #: SSP: a supervisor order broadcast to the workers (e.g. stop)
 CONTROL = "control"
+#: FT: supervisor asking a silent worker to re-report / re-sync its step
+RESYNC = "resync"
 
 _REQUIRED: Dict[str, List[str]] = {
     STEP_DONE: ["worker", "step", "loss", "has_update", "update_nnz"],
@@ -47,6 +51,7 @@ _REQUIRED: Dict[str, List[str]] = {
     DEPARTED: ["worker", "step", "replica_key"],
     UPDATE_AVAILABLE: ["worker", "step", "has_update"],
     CONTROL: ["command"],
+    RESYNC: ["step", "release"],
 }
 
 
@@ -104,6 +109,22 @@ def update_available(worker: int, step: int, has_update: bool) -> Dict[str, Any]
         "worker": int(worker),
         "step": int(step),
         "has_update": bool(has_update),
+    }
+
+
+def resync(step: int, release: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Supervisor -> one worker: barrier ``step`` timed out waiting for you.
+
+    ``release`` carries the last ``step_complete`` the supervisor sent (or
+    None when no barrier was released yet), so a worker that missed its
+    release can re-apply it instead of waiting forever; a worker that is
+    still computing ignores the message, and one whose report was lost
+    re-publishes it.
+    """
+    return {
+        "type": RESYNC,
+        "step": int(step),
+        "release": release,
     }
 
 

@@ -14,7 +14,7 @@ scheme for the supervisor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..ml.optim.base import Optimizer
 from ..ml.parameters import ParameterSet
@@ -43,6 +43,14 @@ class JobRuntime:
     #: per-worker lists of batch indices (round-robin data partition)
     partitions: List[List[int]]
     monitor: Monitor = field(default_factory=Monitor)
+    #: the run's :class:`~repro.faults.FaultInjector`, if any — used by
+    #: the training components to report recovery actions
+    faults: Optional[Any] = None
+
+    def note_recovery(self, kind: str) -> None:
+        """Count a recovery action in the run's fault statistics."""
+        if self.faults is not None:
+            self.faults.stats.note_recovered(kind)
 
     # -- naming conventions ------------------------------------------------
     @property
@@ -78,6 +86,7 @@ class WorkerCheckpoint:
         sig_filter: SignificanceFilter,
         pending_replica: Optional[Tuple[int, int]] = None,
         active_workers: int = 1,
+        last_report: Optional[Dict[str, Any]] = None,
     ):
         self.worker_id = worker_id
         self.step = step
@@ -88,6 +97,10 @@ class WorkerCheckpoint:
         self.pending_replica = pending_replica
         #: pool size as of the last barrier (scales update contributions)
         self.active_workers = active_workers
+        #: the last step_done message published (FT: re-sent on resync when
+        #: the original was lost in the queue); excluded from nbytes — it
+        #: is a tiny control dict next to the dense tensors
+        self.last_report = last_report
 
     @property
     def nbytes(self) -> int:

@@ -17,7 +17,7 @@ auto-tuner is BSP-only (enforced by :class:`~repro.core.config.JobConfig`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator
 
 import numpy as np
 

@@ -5,20 +5,34 @@ releases the per-step barrier, decides when training has converged, and
 drives the scale-in auto-tuner.  Like the workers it checkpoints itself to
 the KV store and relaunches when the activation nears the platform's
 duration cap (the paper sketches exactly this scheme).
+
+With fault tolerance enabled (``config.ft_enabled``) the supervisor also
+owns failure detection: it consumes with a per-step barrier timeout, asks
+silent workers to re-sync (re-sending the last barrier release so a worker
+whose release was lost can catch up, and letting a worker whose report was
+lost re-publish it), tolerates duplicate and late reports idempotently,
+checkpoints its state after every barrier, and — after a capped number of
+fruitless resyncs — abandons the missing workers so the survivors can make
+progress with a smaller pool.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Generator, List, Optional, Set
 
 import numpy as np
 
 from ..faas import InvocationContext
+from ..storage import StorageError
 from . import messages
 from .autotuner import ScaleInScheduler
 from .runtime import JobRuntime
 
 __all__ = ["supervisor_handler", "SupervisorState"]
+
+#: barrier releases kept for re-sending to lagging workers (steps)
+_RELEASE_WINDOW = 4
 
 
 class SupervisorState:
@@ -38,6 +52,10 @@ class SupervisorState:
         self.final_loss: Optional[float] = None
         #: update keys by step, pending garbage collection
         self.gc_backlog: Dict[int, List[str]] = {}
+        #: recent barrier releases by step (FT: re-sent to lagging workers)
+        self.releases: Dict[int, Dict[str, Any]] = {}
+        #: barrier timeouts seen while waiting on the current step
+        self.resyncs_this_step = 0
 
     @property
     def nbytes(self) -> int:
@@ -54,33 +72,60 @@ def supervisor_handler(
     started = ctx.now
 
     if payload.get("resume"):
-        state: SupervisorState = yield from runtime.kv.get(
-            runtime.supervisor_checkpoint_key
-        )
+        if config.ft_enabled:
+            stored = yield from runtime.kv.get_or_none(
+                runtime.supervisor_checkpoint_key
+            )
+            if stored is None:
+                # Crashed before the first checkpoint: start over.
+                state = SupervisorState(runtime)
+                state.job_started_at = ctx.now
+                runtime.note_recovery("supervisor_fresh_restart")
+            else:
+                # Deep-copy so this activation's mutations never alias the
+                # checkpointed object still sitting in the KV store.
+                state = copy.deepcopy(stored)
+                runtime.note_recovery("supervisor_resumed")
+        else:
+            state = yield from runtime.kv.get(
+                runtime.supervisor_checkpoint_key
+            )
     else:
         state = SupervisorState(runtime)
         state.job_started_at = ctx.now
         runtime.monitor.record("workers", ctx.now, len(state.active))
 
-    while True:
-        message = yield from runtime.mq.consume(runtime.supervisor_queue)
-        mtype = messages.validate(message)
+    barrier_timeout = config.barrier_timeout
 
-        if mtype == messages.STEP_DONE:
-            stop = yield from _handle_step_done(ctx, runtime, state, message)
-            if stop:
-                return {
-                    "outcome": "finished",
-                    "steps": state.completed_step,
-                    "final_loss": state.final_loss,
-                    "reason": state.stop_reason,
-                    "converged": state.stop_reason == "target",
-                }
-        elif mtype == messages.DEPARTED:
-            _handle_departed(ctx, runtime, state, message)
+    while True:
+        if barrier_timeout is None:
+            message = yield from runtime.mq.consume(runtime.supervisor_queue)
+        else:
+            message = yield from runtime.mq.consume_with_timeout(
+                runtime.supervisor_queue, barrier_timeout
+            )
+
+        if message is None:
+            stop = yield from _handle_barrier_timeout(ctx, runtime, state)
+        else:
+            mtype = messages.validate(message)
+            stop = False
+            if mtype == messages.STEP_DONE:
+                stop = yield from _handle_step_done(ctx, runtime, state, message)
+            elif mtype == messages.DEPARTED:
+                _handle_departed(ctx, runtime, state, message)
+        if stop:
+            return {
+                "outcome": "finished",
+                "steps": state.completed_step,
+                "final_loss": state.final_loss,
+                "reason": state.stop_reason,
+                "converged": state.stop_reason == "target",
+            }
 
         if ctx.remaining_time(started) < config.relaunch_margin_s:
-            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, state)
+            snapshot = copy.deepcopy(state) if config.ft_enabled else state
+            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, snapshot)
             return {"outcome": "relaunch"}
 
 
@@ -97,10 +142,46 @@ def _handle_step_done(
     config = runtime.config
     step = message["step"]
     worker = message["worker"]
+
+    if config.ft_enabled:
+        if worker not in state.active:
+            # A worker the pool already gave up on came back: halt it.
+            yield from runtime.mq.publish(
+                runtime.worker_queue(worker),
+                messages.step_complete(step, True, [], len(state.active)),
+            )
+            runtime.note_recovery("late_report_halted")
+            return False
+        if step <= state.completed_step:
+            # Duplicate delivery or a report whose release got lost:
+            # re-send the stored release so the worker can move on.
+            runtime.note_recovery("duplicate_report")
+            release = state.releases.get(step)
+            if release is not None:
+                yield from runtime.mq.publish(
+                    runtime.worker_queue(worker), release
+                )
+            return False
+        if worker in state.reports.get(step, {}):
+            runtime.note_recovery("duplicate_report")
+
     state.reports.setdefault(step, {})[worker] = message
     state.last_loss[worker] = message["loss"]
+    return (yield from _maybe_release_barrier(ctx, runtime, state, step))
 
-    collected = state.reports[step]
+
+def _maybe_release_barrier(
+    ctx: InvocationContext,
+    runtime: JobRuntime,
+    state: SupervisorState,
+    step: int,
+) -> Generator:
+    """Release barrier ``step`` if every active worker reported.
+
+    Returns True when the stop broadcast went out (job over).
+    """
+    config = runtime.config
+    collected = state.reports.get(step, {})
     if set(collected) != state.active or step != state.completed_step + 1:
         return False
 
@@ -124,9 +205,10 @@ def _handle_step_done(
             evict = _pick_victim(state)
     senders = [w for w, m in sorted(collected.items()) if m["has_update"]]
     next_active = len(state.active) - (1 if evict is not None else 0)
-    yield from runtime.exchange.publish(
-        messages.step_complete(step, stop, senders, next_active, evict=evict)
+    release = messages.step_complete(
+        step, stop, senders, next_active, evict=evict
     )
+    yield from runtime.exchange.publish(release)
 
     state.completed_step = step
     del state.reports[step]
@@ -145,11 +227,73 @@ def _handle_step_done(
     if dead_keys:
         ctx.env.process(_gc_keys(runtime, dead_keys), name="kv-gc")
 
+    if config.ft_enabled:
+        state.releases[step] = release
+        for stale in [s for s in state.releases if s <= step - _RELEASE_WINDOW]:
+            del state.releases[stale]
+        state.resyncs_this_step = 0
+
     if stop:
         state.stop_reason = reason
         state.final_loss = mean_loss
         return True
+
+    ckpt_every = config.checkpoint_every
+    if ckpt_every and step % ckpt_every == 0:
+        try:
+            yield from runtime.kv.set(
+                runtime.supervisor_checkpoint_key, copy.deepcopy(state)
+            )
+        except StorageError:
+            # A lost checkpoint is survivable (we resume one barrier
+            # earlier); a dead supervisor is not.
+            runtime.note_recovery("checkpoint_skipped")
     return False
+
+
+def _handle_barrier_timeout(
+    ctx: InvocationContext,
+    runtime: JobRuntime,
+    state: SupervisorState,
+) -> Generator:
+    """No message within the barrier timeout: chase the missing workers.
+
+    Returns True when the job is over (everyone abandoned, or the barrier
+    released after shrinking the pool).
+    """
+    config = runtime.config
+    step = state.completed_step + 1
+    collected = state.reports.get(step, {})
+    missing = sorted(state.active - set(collected))
+    if not missing:
+        # Quiet for other reasons (e.g. waiting on a DEPARTED message).
+        return False
+
+    state.resyncs_this_step += 1
+    if state.resyncs_this_step <= config.max_resyncs_per_step:
+        release = state.releases.get(state.completed_step)
+        for worker in missing:
+            yield from runtime.mq.publish(
+                runtime.worker_queue(worker), messages.resync(step, release)
+            )
+        runtime.note_recovery("resync")
+        return False
+
+    # Resync budget exhausted: give up on the silent workers so the
+    # survivors can make progress with a smaller pool.
+    for worker in missing:
+        state.active.discard(worker)
+        runtime.exchange.unbind(runtime.worker_queue(worker))
+        state.scheduler.notify_evicted()
+        runtime.note_recovery("worker_abandoned")
+    runtime.monitor.record("workers", ctx.now, len(state.active))
+    state.resyncs_this_step = 0
+    if not state.active:
+        state.stop_reason = "abandoned"
+        if state.last_loss:
+            state.final_loss = float(np.mean(list(state.last_loss.values())))
+        return True
+    return (yield from _maybe_release_barrier(ctx, runtime, state, step))
 
 
 def _stop_condition(config, state, step, mean_loss, now):
@@ -166,8 +310,13 @@ def _stop_condition(config, state, step, mean_loss, now):
 
 def _gc_keys(runtime: JobRuntime, keys: List[str]) -> Generator:
     """Detached background deletion of consumed update keys."""
-    for key in keys:
-        yield from runtime.kv.delete(key)
+    try:
+        for key in keys:
+            yield from runtime.kv.delete(key)
+    except StorageError:
+        # Detached process: an injected storage error here must not crash
+        # the kernel.  Leaked keys are only garbage, not corruption.
+        runtime.note_recovery("gc_abandoned")
 
 
 def _pick_victim(state: SupervisorState) -> Optional[int]:

@@ -22,16 +22,22 @@ checkpoint.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Generator
 
 import numpy as np
 
 from ..faas import InvocationContext
+from ..storage import StorageError
 from . import messages
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter
 
 __all__ = ["worker_handler"]
+
+#: how long a worker polls for a departed peer's replica before giving up
+#: (FT mode only — the peer may have crashed before storing it)
+_REINTEGRATE_DEADLINE_S = 60.0
 
 
 def _fresh_checkpoint(runtime: JobRuntime, worker_id: int) -> WorkerCheckpoint:
@@ -63,9 +69,23 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
     started = ctx.now
 
     if payload.get("resume"):
-        state: WorkerCheckpoint = yield from runtime.kv.get(
-            runtime.checkpoint_key(worker_id)
-        )
+        if config.ft_enabled:
+            stored = yield from runtime.kv.get_or_none(
+                runtime.checkpoint_key(worker_id)
+            )
+            if stored is None:
+                # Crashed before the first checkpoint: start over.
+                state = _fresh_checkpoint(runtime, worker_id)
+                runtime.note_recovery("worker_fresh_restart")
+            else:
+                # Deep-copy so this activation's mutations never alias the
+                # checkpointed object still sitting in the KV store.
+                state = copy.deepcopy(stored)
+                runtime.note_recovery("worker_resumed")
+        else:
+            state = yield from runtime.kv.get(
+                runtime.checkpoint_key(worker_id)
+            )
     else:
         state = _fresh_checkpoint(runtime, worker_id)
 
@@ -103,20 +123,24 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
             yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
 
         # (5) tell the supervisor this step is computed.
-        yield from runtime.mq.publish(
-            runtime.supervisor_queue,
-            messages.step_done(worker_id, t, loss, has_update, outgoing.nnz),
-        )
+        report = messages.step_done(worker_id, t, loss, has_update, outgoing.nnz)
+        if config.ft_enabled:
+            # Kept so a lost report can be re-published on resync.
+            state.last_report = report
+        yield from runtime.mq.publish(runtime.supervisor_queue, report)
 
         # (6) barrier: wait for the supervisor's release, pull peer updates.
-        release = yield from runtime.mq.consume(my_queue)
-        if messages.validate(release) != messages.STEP_COMPLETE:
-            raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
-        if release["step"] != t:
-            raise RuntimeError(
-                f"worker {worker_id}: barrier for step {release['step']} "
-                f"while at step {t}"
-            )
+        if config.ft_enabled:
+            release = yield from _await_release(runtime, state, my_queue, t)
+        else:
+            release = yield from runtime.mq.consume(my_queue)
+            if messages.validate(release) != messages.STEP_COMPLETE:
+                raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
+            if release["step"] != t:
+                raise RuntimeError(
+                    f"worker {worker_id}: barrier for step {release['step']} "
+                    f"while at step {t}"
+                )
         for peer in release["senders"]:
             if peer == worker_id:
                 continue
@@ -136,10 +160,74 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
         if release["stop"]:
             return {"worker": worker_id, "steps": t, "outcome": "converged"}
 
+        # FT: periodic barrier checkpoint so a crashed activation resumes
+        # from the last completed step instead of from scratch.  Deep-copy:
+        # the KV store holds objects by reference, and the live replica
+        # keeps mutating after the write.
+        checkpointed = False
+        ckpt_every = config.checkpoint_every
+        if ckpt_every and t % ckpt_every == 0:
+            try:
+                yield from runtime.kv.set(
+                    runtime.checkpoint_key(worker_id), copy.deepcopy(state)
+                )
+                checkpointed = True
+            except StorageError:
+                # A lost checkpoint only costs recomputation after a crash.
+                runtime.note_recovery("checkpoint_skipped")
+
         # Relaunch before the platform kills the activation.
         if ctx.remaining_time(started) < config.relaunch_margin_s:
-            yield from runtime.kv.set(runtime.checkpoint_key(worker_id), state)
+            if not checkpointed:
+                yield from runtime.kv.set(
+                    runtime.checkpoint_key(worker_id), state
+                )
             return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+
+
+def _await_release(
+    runtime: JobRuntime,
+    state: WorkerCheckpoint,
+    my_queue: str,
+    t: int,
+) -> Generator:
+    """FT barrier wait: tolerate stale releases, duplicates and resyncs.
+
+    Returns the ``step_complete`` message for step ``t``.
+    """
+    worker_id = state.worker_id
+    while True:
+        message = yield from runtime.mq.consume(my_queue)
+        mtype = messages.validate(message)
+        if mtype == messages.STEP_COMPLETE:
+            if message["step"] == t:
+                return message
+            if message["step"] < t:
+                # Re-delivered or re-sent release for a step already done.
+                runtime.note_recovery("stale_release_skipped")
+                continue
+            raise RuntimeError(
+                f"worker {worker_id}: barrier for step {message['step']} "
+                f"while at step {t}"
+            )
+        if mtype == messages.RESYNC:
+            release = message.get("release")
+            if release is not None and release["step"] == t:
+                # Our copy of the release was lost: use the re-sent one.
+                runtime.note_recovery("release_recovered")
+                return release
+            if (
+                message["step"] == t
+                and state.last_report is not None
+                and state.last_report["step"] == t
+            ):
+                # The supervisor never saw our report: re-publish it.
+                yield from runtime.mq.publish(
+                    runtime.supervisor_queue, state.last_report
+                )
+                runtime.note_recovery("report_republished")
+            continue
+        raise RuntimeError(f"worker {worker_id}: unexpected {message!r}")
 
 
 def _reintegrate(
@@ -153,8 +241,14 @@ def _reintegrate(
         # in Appendix A), so the one-shot synchronization is skipped.
         return
     key = runtime.replica_key(evict_step, peer)
-    # The replica may not be stored yet; poll with short waits.
+    # The replica may not be stored yet; poll with short waits.  With FT
+    # on, the departed peer may have crashed before storing it: give up
+    # after a deadline instead of polling forever.
+    deadline = ctx.now + _REINTEGRATE_DEADLINE_S
     while not (yield from runtime.kv.exists(key)):
+        if runtime.config.ft_enabled and ctx.now >= deadline:
+            runtime.note_recovery("reintegration_skipped")
+            return
         yield ctx.env.timeout(0.01)
     replica = yield from runtime.kv.get(key)
     state.params.average_with(replica)

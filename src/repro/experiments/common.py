@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..core import JobConfig, JobRuntime, MLLessDriver, RunResult
 from ..faas import FaaSPlatform
+from ..faults import FaultInjector, FaultProfile
 from ..pricing import CostMeter
 from ..sim import Environment, RandomStreams
 from ..storage import Exchange, KVStore, MessageQueue, ObjectStore
@@ -33,18 +34,27 @@ class SimWorld:
     mq: MessageQueue
     platform: FaaSPlatform
     meter: CostMeter
+    faults: Optional[FaultInjector] = None
 
 
-def build_world(seed: int = 0) -> SimWorld:
-    """Fresh environment + services + FaaS platform + cost meter."""
+def build_world(seed: int = 0, faults: Optional[FaultProfile] = None) -> SimWorld:
+    """Fresh environment + services + FaaS platform + cost meter.
+
+    ``faults`` attaches a deterministic fault injector to the platform and
+    every storage service; None (or a no-op profile) builds a world whose
+    event schedule is byte-identical to one without any fault machinery.
+    """
     env = Environment()
     streams = RandomStreams(seed=seed)
-    cos = ObjectStore(env, streams)
-    kv = KVStore(env, streams)
-    mq = MessageQueue(env, streams)
-    platform = FaaSPlatform(env, streams)
+    injector = None
+    if faults is not None and not faults.is_noop():
+        injector = FaultInjector(faults, streams)
+    cos = ObjectStore(env, streams, faults=injector)
+    kv = KVStore(env, streams, faults=injector)
+    mq = MessageQueue(env, streams, faults=injector)
+    platform = FaaSPlatform(env, streams, faults=injector)
     meter = CostMeter(faas=platform.billing)
-    return SimWorld(env, streams, cos, kv, mq, platform, meter)
+    return SimWorld(env, streams, cos, kv, mq, platform, meter, faults=injector)
 
 
 def make_runtime(world: SimWorld, config: JobConfig) -> JobRuntime:
@@ -60,13 +70,14 @@ def make_runtime(world: SimWorld, config: JobConfig) -> JobRuntime:
         bucket=DATA_BUCKET,
         batch_keys=batch_keys,
         partitions=config.dataset.partition(config.n_workers),
+        faults=world.faults,
     )
 
 
 def run_mlless(config: JobConfig, world: Optional[SimWorld] = None) -> RunResult:
     """Run one MLLess job in a fresh (or given) simulation world."""
     if world is None:
-        world = build_world(seed=config.seed)
+        world = build_world(seed=config.seed, faults=config.faults)
     runtime = make_runtime(world, config)
     driver = MLLessDriver(world.env, world.platform, runtime, meter=world.meter)
     return driver.run()
@@ -83,6 +94,7 @@ def mlless_config(
     seed: int = 3,
     dataset=None,
     autotuner_kwargs: Optional[dict] = None,
+    faults: Optional[FaultProfile] = None,
 ) -> JobConfig:
     """A :class:`JobConfig` for a named workload (see experiments.settings).
 
@@ -113,6 +125,7 @@ def mlless_config(
         max_time_s=max_time_s,
         seed=seed,
         autotuner=AutoTunerConfig(enabled=autotune, **at_kwargs),
+        faults=faults,
     )
 
 

@@ -21,7 +21,6 @@ from typing import Dict, List
 import numpy as np
 
 from ..core import ReferenceCurve, SlowCurve, SlopeKneeDetector, ewma
-from ..core.curves import prediction_error
 from .common import mlless_config, run_mlless
 from .report import render_table
 from .settings import make_workload

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..core import perf_per_dollar
 from .common import mlless_config, run_mlless
 from .report import render_table
 from .settings import make_workload

@@ -25,7 +25,7 @@ from .common import (
     run_pywren_workload,
     run_serverful_workload,
 )
-from .report import render_series, render_table
+from .report import render_table
 from .settings import make_workload
 
 __all__ = ["fig6_comparison", "run_all_systems", "main"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Union
 
-__all__ = ["render_table", "render_series", "banner"]
+__all__ = ["render_table", "render_series", "banner", "fault_summary_rows"]
 
 Cell = Union[str, int, float, None]
 
@@ -73,3 +73,48 @@ def render_series(
 def banner(text: str) -> str:
     bar = "=" * max(len(text), 8)
     return f"{bar}\n{text}\n{bar}"
+
+
+def fault_summary_rows(result) -> List[Dict[str, Cell]]:
+    """Per-kind injected-fault and recovery counts from a run's extras.
+
+    Returns rows for :func:`render_table` — empty when the run had no
+    fault injector attached (so callers can skip the table entirely).
+    """
+    extras = result.extras
+    if "faults_injected" not in extras:
+        return []
+    rows: List[Dict[str, Cell]] = []
+    for key in sorted(extras):
+        if key.startswith("fault."):
+            rows.append(
+                {
+                    "event": key[len("fault."):],
+                    "kind": "injected",
+                    "count": int(extras[key]),
+                }
+            )
+    for key in sorted(extras):
+        if key.startswith("recovery."):
+            rows.append(
+                {
+                    "event": key[len("recovery."):],
+                    "kind": "recovery",
+                    "count": int(extras[key]),
+                }
+            )
+    rows.append(
+        {
+            "event": "total",
+            "kind": "injected",
+            "count": int(extras["faults_injected"]),
+        }
+    )
+    rows.append(
+        {
+            "event": "total",
+            "kind": "recovery",
+            "count": int(extras.get("faults_recovered", 0)),
+        }
+    )
+    return rows

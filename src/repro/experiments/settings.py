@@ -20,8 +20,8 @@ the loss curve, the same regime the paper's thresholds occupy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict
 
 from ..ml.data import (
     CriteoSpec,

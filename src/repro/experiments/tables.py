@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List
 
-from ..ml.data import CriteoSpec, criteo_like
+from ..ml.data import criteo_like
 from ..pricing import FUNCTIONS_PRICE_PER_S, PRICING
 from .common import mlless_config, run_mlless
 from .report import render_table

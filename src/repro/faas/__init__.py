@@ -2,7 +2,12 @@
 
 from .billing import ActivationRecord, FaaSBilling
 from .coldstart import ColdStartModel
-from .function import ActivationTimeout, FunctionSpec, InvocationContext
+from .function import (
+    ActivationCrash,
+    ActivationTimeout,
+    FunctionSpec,
+    InvocationContext,
+)
 from .limits import FaaSLimits, IBM_CLOUD_FUNCTIONS_LIMITS
 from .platform import Activation, FaaSPlatform
 
@@ -12,6 +17,7 @@ __all__ = [
     "FunctionSpec",
     "InvocationContext",
     "ActivationTimeout",
+    "ActivationCrash",
     "FaaSLimits",
     "IBM_CLOUD_FUNCTIONS_LIMITS",
     "ColdStartModel",

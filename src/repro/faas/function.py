@@ -17,12 +17,17 @@ half speed — the memory→CPU coupling of IBM Cloud Functions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from ..sim import Environment
 from .limits import FaaSLimits
 
-__all__ = ["FunctionSpec", "InvocationContext", "ActivationTimeout"]
+__all__ = [
+    "FunctionSpec",
+    "InvocationContext",
+    "ActivationTimeout",
+    "ActivationCrash",
+]
 
 
 class ActivationTimeout(Exception):
@@ -32,6 +37,23 @@ class ActivationTimeout(Exception):
         super().__init__(f"activation of {function!r} exceeded {limit_s:.0f}s limit")
         self.function = function
         self.limit_s = limit_s
+
+
+class ActivationCrash(Exception):
+    """An injected fault killed the activation mid-flight.
+
+    Models a container OOM-kill or host failure: the handler stops at an
+    arbitrary point, the container is lost (no warm reuse), and the
+    consumed GB-seconds are still billed.
+    """
+
+    def __init__(self, function: str, after_s: float):
+        super().__init__(
+            f"activation of {function!r} crashed {after_s:.3f}s after start "
+            "(injected fault)"
+        )
+        self.function = function
+        self.after_s = after_s
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,7 @@ class InvocationContext:
         activation_id: int,
         memory_mb: int,
         services: Any = None,
+        compute_scale: float = 1.0,
     ):
         self.env = env
         self.platform = platform
@@ -68,6 +91,8 @@ class InvocationContext:
         self.cpu_share = platform.limits.cpu_share(memory_mb)
         #: service bundle (object store, KV store, MQ, ...) given at invoke
         self.services = services
+        #: >1.0 when a straggler fault degrades this activation's host
+        self.compute_scale = compute_scale
         self.cpu_seconds_used = 0.0
 
     @property
@@ -78,7 +103,7 @@ class InvocationContext:
         """Charge ``cpu_seconds`` of single-vCPU work at this activation's share."""
         if cpu_seconds < 0:
             raise ValueError(f"cpu_seconds must be >= 0, got {cpu_seconds}")
-        wall = cpu_seconds / self.cpu_share
+        wall = cpu_seconds / self.cpu_share * self.compute_scale
         self.cpu_seconds_used += cpu_seconds
         yield self.env.timeout(wall)
 

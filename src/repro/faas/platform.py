@@ -20,10 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
-from ..sim import Environment, Event, Interrupt, Process, RandomStreams, Resource
+from ..sim import Environment, Interrupt, Process, RandomStreams, Resource
 from .billing import ActivationRecord, FaaSBilling
 from .coldstart import ColdStartModel
-from .function import ActivationTimeout, FunctionSpec, InvocationContext
+from .function import (
+    ActivationCrash,
+    ActivationTimeout,
+    FunctionSpec,
+    InvocationContext,
+)
 from .limits import FaaSLimits, IBM_CLOUD_FUNCTIONS_LIMITS
 
 __all__ = ["FaaSPlatform", "Activation"]
@@ -100,12 +105,15 @@ class FaaSPlatform:
         billing: Optional[FaaSBilling] = None,
         services: Any = None,
         queue_when_full: bool = False,
+        faults: Any = None,
     ):
         self.env = env
         self.limits = limits
         self.cold_start = cold_start
         self.billing = billing if billing is not None else FaaSBilling()
         self.services = services
+        #: optional :class:`~repro.faults.FaultInjector`; None = no faults
+        self.faults = faults
         #: at the concurrency cap: queue invocations (real platform
         #: behaviour) instead of rejecting them with an error
         self.queue_when_full = queue_when_full
@@ -176,6 +184,7 @@ class FaaSPlatform:
         activation: "Activation",
     ) -> Generator:
         slot = self._slots.request()
+        crashed = False
         try:
             yield slot
             # Warm/cold is decided at dispatch (after any queueing delay).
@@ -184,9 +193,15 @@ class FaaSPlatform:
             )
             activation.cold = cold
             activation.started_at = self.env.now
-            yield self.env.timeout(
-                self.cold_start.dispatch_latency(not cold, self._rng)
-            )
+            dispatch = self.cold_start.dispatch_latency(not cold, self._rng)
+            compute_scale = 1.0
+            crash_after: Optional[float] = None
+            if self.faults is not None:
+                if cold:
+                    dispatch *= self.faults.coldstart_multiplier()
+                crash_after = self.faults.crash_delay(spec.name)
+                compute_scale = self.faults.compute_scale(spec.name)
+            yield self.env.timeout(dispatch)
             ctx = InvocationContext(
                 self.env,
                 self,
@@ -194,14 +209,33 @@ class FaaSPlatform:
                 activation_id,
                 spec.memory_mb,
                 services=self.services,
+                compute_scale=compute_scale,
             )
             body = self.env.process(
                 spec.handler(ctx, payload), name=f"{spec.name}#{activation_id}.body"
             )
             deadline = self.env.timeout(self.limits.max_duration_s)
-            result = yield body | deadline
+            racers = [body, deadline]
+            crash = None
+            if crash_after is not None:
+                crash = self.env.timeout(crash_after)
+                racers.append(crash)
+            result = yield self.env.any_of(racers)
             if body in result:
                 return result[body]
+            if crash is not None and crash in result and deadline not in result:
+                # Injected crash fired before the handler finished: the
+                # container is lost, so no warm reuse, but the consumed
+                # GB-seconds are still billed (via _finalize).
+                crashed = True
+                self.faults.stats.note_injected("activation_crash")
+                if body.is_alive:
+                    body.interrupt(cause="fault-injected-crash")
+                    try:
+                        yield body
+                    except (Interrupt, Exception):
+                        pass
+                raise ActivationCrash(spec.name, crash_after)
             # Duration cap hit: kill the handler.
             if body.is_alive:
                 body.interrupt(cause="duration-limit")
@@ -212,7 +246,8 @@ class FaaSPlatform:
             raise ActivationTimeout(spec.name, self.limits.max_duration_s)
         finally:
             self._running -= 1
-            self._warm[spec.name].put_back(self.env.now)
+            if not crashed:
+                self._warm[spec.name].put_back(self.env.now)
             self._slots.release(slot)
 
     def _finalize(self, activation: Activation) -> None:

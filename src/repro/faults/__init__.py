@@ -1,0 +1,10 @@
+"""Deterministic fault injection for the serverless training simulator.
+
+See DESIGN.md § "Fault model & recovery" for the full catalogue of fault
+types, their seed streams, and the recovery paths they exercise.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .profile import FAULT_PROFILES, FaultProfile
+
+__all__ = ["FaultInjector", "FaultStats", "FaultProfile", "FAULT_PROFILES"]

@@ -1,0 +1,154 @@
+"""The fault injector: deterministic sampling + bookkeeping.
+
+The injector is the single point where fault randomness is drawn.  Every
+fault model has its **own named stream** (``faults.crash``,
+``faults.coldstart``, ``faults.straggler``, ``faults.mq``,
+``faults.storage``) obtained from the run's :class:`RandomStreams`, so:
+
+* the same seed yields a byte-identical fault schedule, and
+* enabling one fault model never perturbs the draws of another (streams
+  are independent by construction).
+
+Zero-rate models never touch their stream at all, which keeps a profile
+with e.g. only crashes enabled identical to the same profile plus an
+explicitly-zero straggler rate.
+
+The injector also carries :class:`FaultStats`: counters of injected
+faults and observed recoveries that the driver surfaces in the run
+report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..sim.rand import RandomStreams
+from .profile import FaultProfile
+
+__all__ = ["FaultInjector", "FaultStats"]
+
+
+class FaultStats:
+    """Counters of injected faults and recovery actions, by kind."""
+
+    def __init__(self) -> None:
+        self.injected: Counter = Counter()
+        self.recovered: Counter = Counter()
+
+    def note_injected(self, kind: str, n: int = 1) -> None:
+        self.injected[kind] += n
+
+    def note_recovered(self, kind: str, n: int = 1) -> None:
+        self.recovered[kind] += n
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    def summary(self) -> Dict[str, int]:
+        out = {f"fault.{k}": v for k, v in sorted(self.injected.items())}
+        out.update(
+            {f"recovery.{k}": v for k, v in sorted(self.recovered.items())}
+        )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultStats injected={self.total_injected} "
+            f"recovered={self.total_recovered}>"
+        )
+
+
+class FaultInjector:
+    """Samples fault decisions for the platform and storage layers."""
+
+    def __init__(self, profile: FaultProfile, streams: RandomStreams):
+        self.profile = profile
+        self.stats = FaultStats()
+        self._crash_rng = streams.stream("faults.crash")
+        self._coldstart_rng = streams.stream("faults.coldstart")
+        self._straggler_rng = streams.stream("faults.straggler")
+        self._mq_rng = streams.stream("faults.mq")
+        self._storage_rng = streams.stream("faults.storage")
+        self._storage_rates = {
+            "redis": profile.kv_error_rate,
+            "cos": profile.cos_error_rate,
+        }
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _targeted(function: str, targets) -> bool:
+        return any(t in function for t in targets)
+
+    # -- activation-level faults -----------------------------------------
+    def crash_delay(self, function: str) -> Optional[float]:
+        """Seconds after handler start at which to crash, or None.
+
+        The caller counts the fault when the crash actually fires (the
+        handler may finish first, in which case nothing was injected).
+        """
+        p = self.profile
+        if p.crash_rate == 0.0 or not self._targeted(function, p.crash_targets):
+            return None
+        if self._crash_rng.random() >= p.crash_rate:
+            return None
+        lo, hi = p.crash_window_s
+        return float(self._crash_rng.uniform(lo, hi))
+
+    def coldstart_multiplier(self) -> float:
+        """Factor applied to a cold dispatch latency (1.0 = no spike)."""
+        p = self.profile
+        if p.coldstart_spike_rate == 0.0:
+            return 1.0
+        if self._coldstart_rng.random() >= p.coldstart_spike_rate:
+            return 1.0
+        lo, hi = p.coldstart_spike_factor
+        self.stats.note_injected("coldstart_spike")
+        return float(self._coldstart_rng.uniform(lo, hi))
+
+    def compute_scale(self, function: str) -> float:
+        """Factor applied to the activation's compute time (1.0 = normal)."""
+        p = self.profile
+        if p.straggler_rate == 0.0 or not self._targeted(
+            function, p.straggler_targets
+        ):
+            return 1.0
+        if self._straggler_rng.random() >= p.straggler_rate:
+            return 1.0
+        lo, hi = p.straggler_factor
+        self.stats.note_injected("straggler")
+        return float(self._straggler_rng.uniform(lo, hi))
+
+    # -- message queue ----------------------------------------------------
+    def message_fate(self, queue: str) -> str:
+        """Fate of one published message: deliver, drop, or duplicate."""
+        p = self.profile
+        if p.message_loss_rate == 0.0 and p.message_duplication_rate == 0.0:
+            return "deliver"
+        u = self._mq_rng.random()
+        if u < p.message_loss_rate:
+            self.stats.note_injected("message_loss")
+            return "drop"
+        if u < p.message_loss_rate + p.message_duplication_rate:
+            self.stats.note_injected("message_duplication")
+            return "duplicate"
+        return "deliver"
+
+    # -- storage ----------------------------------------------------------
+    def storage_should_fail(self, service: str) -> bool:
+        """Whether the next operation on ``service`` fails transiently."""
+        rate = self._storage_rates.get(service, 0.0)
+        if rate == 0.0:
+            return False
+        if self._storage_rng.random() < rate:
+            self.stats.note_injected(f"{service}_error")
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector profile={self.profile.name!r} {self.stats!r}>"

@@ -12,7 +12,7 @@ chained map-reduce jobs) and (b) the non-specialized ML training baseline.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List
 
 from ..calibration import Calibration, DEFAULT_CALIBRATION
 from ..faas import FaaSPlatform, FunctionSpec, InvocationContext

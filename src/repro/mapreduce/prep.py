@@ -8,7 +8,7 @@ executor (the pure kernels live in :mod:`repro.ml.data.normalize`).
 
 from __future__ import annotations
 
-from typing import Generator, Tuple
+from typing import Generator
 
 from ..ml.data.dataset import Dataset, LRBatch
 from ..ml.data.normalize import (

@@ -67,7 +67,8 @@ class CostMeter:
     def total_cost(self, up_to: Optional[float] = None) -> float:
         """Total $ cost; with ``up_to``, the cost accrued by that time."""
         vm = sum(
-            l.cost() if up_to is None else l.cost_up_to(up_to) for l in self.leases
+            lease.cost() if up_to is None else lease.cost_up_to(up_to)
+            for lease in self.leases
         )
         if self.faas is None:
             return vm

@@ -126,6 +126,19 @@ class Store:
             self._getters.append(event)
         return event
 
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending ``get`` so a future put skips it.
+
+        Used by timed consumers: once the waiter gives up, its get event
+        must leave the queue or the next item would be delivered to a
+        consumer that is no longer listening (and silently lost).  A
+        no-op if the event already fired or was never queued.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
     def _do_put(self, event: Event) -> None:
         if self._getters:
             getter = self._getters.popleft()

@@ -1,7 +1,13 @@
 """Simulated storage services: object store, KV store, message queue."""
 
 from .base import ServiceMetrics, StorageService
-from .errors import BucketNotFound, KeyNotFound, QueueClosed, StorageError
+from .errors import (
+    BucketNotFound,
+    KeyNotFound,
+    QueueClosed,
+    StorageError,
+    TransientStorageError,
+)
 from .kv_store import KVStore
 from .message_queue import Exchange, MessageQueue
 from .object_store import ObjectStore
@@ -19,4 +25,5 @@ __all__ = [
     "KeyNotFound",
     "BucketNotFound",
     "QueueClosed",
+    "TransientStorageError",
 ]

@@ -19,9 +19,14 @@ import numpy as np
 
 from ..net import LatencyModel, Link
 from ..sim import Environment, RandomStreams
+from .errors import TransientStorageError
 from .sizing import payload_size
 
 __all__ = ["ServiceMetrics", "StorageService"]
+
+#: Deterministic client-side retry backoff for injected transient errors.
+_RETRY_BACKOFF_BASE_S = 0.05
+_RETRY_BACKOFF_CAP_S = 1.0
 
 
 @dataclass
@@ -59,16 +64,33 @@ class StorageService:
         latency: LatencyModel,
         bandwidth_bps: float,
         name: str,
+        faults=None,
     ):
         self.env = env
         self.name = name
         self.latency = latency
         self.link = Link(env, bandwidth_bps, name=f"{name}.link")
         self.metrics = ServiceMetrics()
+        self.faults = faults
         self._rng: np.random.Generator = streams.stream(f"storage.{name}")
 
     def _charge(self, op: str, payload_bytes: float, inbound: bool) -> Generator:
         """Process generator: charge latency + transfer for one request."""
+        if self.faults is not None:
+            attempts = 0
+            while self.faults.storage_should_fail(self.name):
+                attempts += 1
+                self.metrics.count(f"{op}.error")
+                # The failed attempt still costs a round-trip.
+                yield self.env.timeout(self.latency.sample(self._rng))
+                if attempts > self.faults.profile.max_storage_retries:
+                    raise TransientStorageError(self.name, op, attempts)
+                self.faults.stats.note_recovered("storage_retry")
+                backoff = min(
+                    _RETRY_BACKOFF_BASE_S * 2 ** (attempts - 1),
+                    _RETRY_BACKOFF_CAP_S,
+                )
+                yield self.env.timeout(backoff)
         start = self.env.now
         self.metrics.count(op)
         yield self.env.timeout(self.latency.sample(self._rng))

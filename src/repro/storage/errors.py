@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["StorageError", "KeyNotFound", "BucketNotFound", "QueueClosed"]
+__all__ = [
+    "StorageError",
+    "KeyNotFound",
+    "BucketNotFound",
+    "QueueClosed",
+    "TransientStorageError",
+]
 
 
 class StorageError(Exception):
@@ -32,3 +38,22 @@ class QueueClosed(StorageError):
     def __init__(self, queue: str):
         super().__init__(f"queue {queue!r} is closed")
         self.queue = queue
+
+
+class TransientStorageError(StorageError):
+    """An injected transient fault exhausted the service's retry budget.
+
+    The storage layer retries transient failures internally (with a
+    deterministic backoff); only when ``max_storage_retries`` consecutive
+    attempts fail does this surface to the caller — who may retry at a
+    coarser granularity (e.g. relaunch the whole activation).
+    """
+
+    def __init__(self, service: str, op: str, attempts: int):
+        super().__init__(
+            f"{service}.{op} failed after {attempts} attempts "
+            "(injected transient errors)"
+        )
+        self.service = service
+        self.op = op
+        self.attempts = attempts

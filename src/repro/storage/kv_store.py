@@ -38,8 +38,9 @@ class KVStore(StorageService):
         latency: LatencyModel = DEFAULT_LATENCY,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "redis",
+        faults=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name)
+        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
         self._data: Dict[str, Any] = {}
         self._lists: Dict[str, List[Any]] = {}
 

@@ -39,8 +39,9 @@ class MessageQueue(StorageService):
         latency: LatencyModel = DEFAULT_LATENCY,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "rabbitmq",
+        faults=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name)
+        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
         self._queues: Dict[str, Store] = {}
         self._closed: Dict[str, bool] = {}
 
@@ -57,9 +58,20 @@ class MessageQueue(StorageService):
         return self._queues[queue]
 
     def publish(self, queue: str, message: Any) -> Generator:
-        """Process generator: deliver ``message`` into ``queue``."""
+        """Process generator: deliver ``message`` into ``queue``.
+
+        With a fault injector attached the message may be silently dropped
+        (at-most-once loss) or delivered twice (at-least-once redelivery);
+        the publisher is always charged for the attempt either way.
+        """
         store = self._store(queue)
         yield from self._charge("publish", self.size_of(message), inbound=True)
+        if self.faults is not None:
+            fate = self.faults.message_fate(queue)
+            if fate == "drop":
+                return
+            if fate == "duplicate":
+                store.put(message)
         store.put(message)  # unbounded store: put never blocks
 
     def consume(self, queue: str) -> Generator:
@@ -68,6 +80,27 @@ class MessageQueue(StorageService):
         message = yield store.get()
         yield from self._charge("consume", self.size_of(message), inbound=False)
         return message
+
+    def consume_with_timeout(self, queue: str, timeout_s: float) -> Generator:
+        """Blocking consume that gives up after ``timeout_s`` seconds.
+
+        Returns the message, or ``None`` on timeout.  The abandoned get is
+        cancelled so a later message is not silently delivered to a
+        consumer that stopped listening.
+        """
+        store = self._store(queue)
+        get = store.get()
+        timeout = self.env.timeout(timeout_s)
+        yield get | timeout
+        if get.triggered:
+            message = get.value
+            yield from self._charge(
+                "consume", self.size_of(message), inbound=False
+            )
+            return message
+        store.cancel_get(get)
+        yield from self._charge("poll", 8, inbound=False)
+        return None
 
     def try_consume(self, queue: str) -> Generator:
         """Non-blocking consume; returns ``None`` when the queue is empty."""

@@ -38,8 +38,9 @@ class ObjectStore(StorageService):
         latency: LatencyModel = DEFAULT_LATENCY,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "cos",
+        faults=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name)
+        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
         self._buckets: Dict[str, Dict[str, Any]] = {}
 
     # -- management (instantaneous control-plane calls) -----------------

@@ -1,6 +1,5 @@
 """Shared fixtures for integration tests: a small PMF workload."""
 
-import numpy as np
 import pytest
 
 from repro.ml.data import MovieLensSpec, movielens_like

@@ -1,7 +1,5 @@
 """Integration tests for auto-tuner-driven eviction inside real runs."""
 
-import pytest
-
 from repro import AutoTunerConfig, JobConfig, run_mlless
 
 from .conftest import make_model, make_optimizer

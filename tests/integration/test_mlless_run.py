@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import AutoTunerConfig, JobConfig, run_mlless
+from repro import JobConfig, run_mlless
 from repro.experiments.common import build_world, make_runtime
 from repro.core import MLLessDriver
 

@@ -1,7 +1,5 @@
 """Checkpoint/relaunch at the FaaS duration cap (workers and supervisor)."""
 
-import pytest
-
 from repro import JobConfig, run_mlless
 from repro.experiments.common import build_world
 from repro.faas import FaaSLimits, FaaSPlatform

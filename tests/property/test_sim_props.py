@@ -1,7 +1,7 @@
 """Property-based tests for the DES kernel and curve/EWMA math."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import ewma

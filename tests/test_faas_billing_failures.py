@@ -1,0 +1,120 @@
+"""Regression tests: FAILED activations still produce billing records.
+
+A real FaaS provider bills every activation for the GB-seconds it
+consumed, whether it returned, raised, timed out, or was killed.  An
+earlier version only recorded successful activations, understating the
+bill of any run with failures — exactly the runs fault injection creates.
+"""
+
+import pytest
+
+from repro.faas import (
+    ActivationCrash,
+    ActivationTimeout,
+    FaaSLimits,
+    FaaSPlatform,
+    FunctionSpec,
+)
+from repro.faults import FaultInjector, FaultProfile
+from repro.sim import Environment, RandomStreams
+
+
+def make_platform(**kwargs):
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    return env, FaaSPlatform(env, streams, **kwargs)
+
+
+def test_handler_exception_is_billed():
+    env, platform = make_platform()
+
+    def handler(ctx, payload):
+        yield from ctx.compute(1.0)
+        raise RuntimeError("boom")
+
+    platform.register(FunctionSpec("f", handler))
+    act = platform.invoke("f")
+    env.run()
+    with pytest.raises(RuntimeError):
+        act.result()
+    assert act.record is not None
+    assert not act.record.ok
+    assert act.record.billed_duration >= 1.0
+    assert platform.billing.total_cost() > 0
+
+
+def test_duration_cap_timeout_is_billed():
+    env, platform = make_platform(limits=FaaSLimits(max_duration_s=2.0))
+
+    def handler(ctx, payload):
+        yield from ctx.sleep(100.0)
+
+    platform.register(FunctionSpec("f", handler))
+    act = platform.invoke("f")
+    env.run()
+    with pytest.raises(ActivationTimeout):
+        act.result()
+    assert act.record is not None and not act.record.ok
+    # Billed for the full time it held the container, i.e. the cap.
+    assert act.record.billed_duration >= 2.0
+
+
+def test_externally_interrupted_activation_is_billed():
+    env, platform = make_platform()
+
+    def handler(ctx, payload):
+        yield from ctx.sleep(100.0)
+
+    def killer(act):
+        yield env.timeout(1.0)
+        act.process.interrupt(cause="test-kill")
+
+    platform.register(FunctionSpec("f", handler))
+    act = platform.invoke("f")
+    env.process(killer(act))
+    env.run()
+    assert act.record is not None and not act.record.ok
+    assert act.record.billed_duration > 0
+
+
+def test_injected_crash_is_billed():
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    injector = FaultInjector(
+        FaultProfile(crash_rate=1.0, crash_window_s=(0.5, 1.0)), streams
+    )
+    platform = FaaSPlatform(env, streams, faults=injector)
+
+    def handler(ctx, payload):
+        yield from ctx.compute(50.0)
+
+    platform.register(FunctionSpec("worker-0", handler))
+    act = platform.invoke("worker-0")
+    env.run()
+    with pytest.raises(ActivationCrash):
+        act.result()
+    assert act.record is not None and not act.record.ok
+    assert act.record.billed_duration > 0
+
+
+def test_mixed_outcomes_all_recorded():
+    env, platform = make_platform()
+
+    def good(ctx, payload):
+        yield from ctx.compute(0.5)
+        return "ok"
+
+    def bad(ctx, payload):
+        yield from ctx.compute(0.5)
+        raise ValueError("nope")
+
+    platform.register(FunctionSpec("good", good))
+    platform.register(FunctionSpec("bad", bad))
+    acts = [platform.invoke("good"), platform.invoke("bad"),
+            platform.invoke("good")]
+    env.run()
+    records = platform.billing.records
+    assert len(records) == 3
+    assert sorted(r.ok for r in records) == [False, True, True]
+    assert all(r.billed_duration > 0 for r in records)
+    assert acts[1].record is not None and not acts[1].record.ok

@@ -1,0 +1,390 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, FaultInjector, FaultProfile
+from repro.faults.injector import FaultStats
+from repro.faas import ActivationCrash, FaaSPlatform, FunctionSpec
+from repro.sim import Environment, RandomStreams
+from repro.storage import KVStore, MessageQueue, TransientStorageError
+
+
+def make_injector(seed=0, **profile_kwargs):
+    return FaultInjector(
+        FaultProfile(**profile_kwargs), RandomStreams(seed=seed)
+    )
+
+
+# ----------------------------------------------------------------- profiles
+def test_profile_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        FaultProfile(crash_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultProfile(kv_error_rate=-0.1)
+
+
+def test_profile_rejects_loss_plus_duplication_over_one():
+    with pytest.raises(ValueError):
+        FaultProfile(message_loss_rate=0.6, message_duplication_rate=0.6)
+
+
+def test_profile_rejects_inverted_ranges():
+    with pytest.raises(ValueError):
+        FaultProfile(crash_window_s=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        FaultProfile(straggler_factor=(0.5, 2.0))  # below 1.0 minimum
+
+
+def test_profile_noop_detection():
+    assert FaultProfile().is_noop()
+    assert not FaultProfile(crash_rate=0.1).is_noop()
+    for name, profile in FAULT_PROFILES.items():
+        assert not profile.is_noop(), name
+
+
+def test_presets_are_frozen():
+    with pytest.raises(Exception):
+        FAULT_PROFILES["crash"].crash_rate = 0.9
+
+
+# ----------------------------------------------------------- injector draws
+def test_same_seed_same_fault_schedule():
+    a = make_injector(seed=7, crash_rate=0.5, straggler_rate=0.5)
+    b = make_injector(seed=7, crash_rate=0.5, straggler_rate=0.5)
+    seq_a = [(a.crash_delay("worker-0"), a.compute_scale("worker-0"))
+             for _ in range(50)]
+    seq_b = [(b.crash_delay("worker-0"), b.compute_scale("worker-0"))
+             for _ in range(50)]
+    assert seq_a == seq_b
+
+
+def test_streams_are_independent():
+    # Enabling the straggler model must not perturb the crash draws.
+    crash_only = make_injector(seed=3, crash_rate=0.5)
+    both = make_injector(seed=3, crash_rate=0.5, straggler_rate=0.9)
+    for _ in range(50):
+        assert crash_only.crash_delay("worker-0") == both.crash_delay("worker-0")
+        both.compute_scale("worker-0")
+
+
+def test_targeting_restricts_activation_faults():
+    inj = make_injector(crash_rate=1.0, straggler_rate=1.0)
+    assert inj.crash_delay("supervisor") is None
+    assert inj.compute_scale("supervisor") == 1.0
+    assert inj.crash_delay("worker-3") is not None
+    assert inj.compute_scale("worker-5") > 1.0
+
+
+def test_crash_delay_sampled_inside_window():
+    inj = make_injector(crash_rate=1.0, crash_window_s=(2.0, 3.0))
+    for _ in range(20):
+        delay = inj.crash_delay("worker-0")
+        assert 2.0 <= delay <= 3.0
+
+
+def test_crash_delay_not_counted_until_it_fires():
+    # The draw alone is not an injected fault: the handler may finish first.
+    inj = make_injector(crash_rate=1.0)
+    inj.crash_delay("worker-0")
+    assert inj.stats.total_injected == 0
+
+
+def test_coldstart_spike_certain():
+    inj = make_injector(coldstart_spike_rate=1.0,
+                        coldstart_spike_factor=(4.0, 4.0))
+    assert inj.coldstart_multiplier() == 4.0
+    assert inj.stats.injected["coldstart_spike"] == 1
+
+
+def test_message_fate_loss_and_duplication():
+    inj = make_injector(message_loss_rate=1.0)
+    assert inj.message_fate("q") == "drop"
+    assert inj.stats.injected["message_loss"] == 1
+    inj2 = make_injector(message_duplication_rate=1.0)
+    assert inj2.message_fate("q") == "duplicate"
+    assert inj2.stats.injected["message_duplication"] == 1
+
+
+def test_storage_should_fail_per_service_rates():
+    inj = make_injector(kv_error_rate=1.0)
+    assert inj.storage_should_fail("redis")
+    assert inj.stats.injected["redis_error"] == 1
+    # cos has rate 0 in this profile: never fails, never counted.
+    assert not inj.storage_should_fail("cos")
+    assert "cos_error" not in inj.stats.injected
+
+
+def test_stats_summary_shape():
+    stats = FaultStats()
+    stats.note_injected("activation_crash", 3)
+    stats.note_recovered("invoke_retry", 2)
+    assert stats.summary() == {
+        "fault.activation_crash": 3,
+        "recovery.invoke_retry": 2,
+    }
+    assert stats.total_injected == 3 and stats.total_recovered == 2
+
+
+# ------------------------------------------------------- platform injection
+def make_platform(profile, seed=0):
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    injector = FaultInjector(profile, streams)
+    return env, FaaSPlatform(env, streams, faults=injector), injector
+
+
+def test_injected_crash_fails_activation_and_bills_it():
+    profile = FaultProfile(crash_rate=1.0, crash_window_s=(0.5, 1.0),
+                           crash_targets=("worker",))
+    env, platform, injector = make_platform(profile)
+
+    def handler(ctx, payload):
+        yield from ctx.compute(100.0)
+        return "done"
+
+    platform.register(FunctionSpec("worker-0", handler))
+    act = platform.invoke("worker-0")
+    env.run()
+    with pytest.raises(ActivationCrash):
+        act.result()
+    assert act.record is not None and not act.record.ok
+    assert act.record.billed_duration > 0
+    assert injector.stats.injected["activation_crash"] == 1
+
+
+def test_crashed_container_is_not_reused_warm():
+    profile = FaultProfile(crash_rate=1.0, crash_window_s=(0.1, 0.2),
+                           crash_targets=("worker",))
+    env, platform, _ = make_platform(profile)
+
+    def handler(ctx, payload):
+        yield from ctx.sleep(5.0)
+
+    platform.register(FunctionSpec("worker-0", handler))
+    first = platform.invoke("worker-0")
+    env.run()
+    second = platform.invoke("worker-0")
+    env.run()
+    assert first.cold and second.cold  # no warm pool entry survived the crash
+
+
+def test_handler_finishing_before_crash_point_is_unaffected():
+    profile = FaultProfile(crash_rate=1.0, crash_window_s=(50.0, 60.0),
+                           crash_targets=("worker",))
+    env, platform, injector = make_platform(profile)
+
+    def handler(ctx, payload):
+        yield from ctx.sleep(0.1)
+        return "ok"
+
+    platform.register(FunctionSpec("worker-0", handler))
+    act = platform.invoke("worker-0")
+    env.run()
+    assert act.result() == "ok" and act.record.ok
+    assert injector.stats.total_injected == 0
+
+
+def test_straggler_scales_compute_time():
+    profile = FaultProfile(straggler_rate=1.0, straggler_factor=(3.0, 3.0),
+                           straggler_targets=("worker",))
+    env, platform, injector = make_platform(profile)
+    durations = {}
+
+    def handler(ctx, payload):
+        start = ctx.now
+        yield from ctx.compute(2.0)
+        durations[ctx.function] = ctx.now - start
+
+    platform.register(FunctionSpec("worker-0", handler))
+    platform.register(FunctionSpec("supervisor", handler))
+    platform.invoke("worker-0")
+    platform.invoke("supervisor")
+    env.run()
+    assert durations["worker-0"] == pytest.approx(3 * durations["supervisor"])
+    assert injector.stats.injected["straggler"] == 1
+
+
+def test_coldstart_spike_slows_cold_dispatch_only():
+    spiked = FaultProfile(coldstart_spike_rate=1.0,
+                          coldstart_spike_factor=(10.0, 10.0))
+
+    def run_one(profile):
+        if profile is not None:
+            env, platform, _ = make_platform(profile)
+        else:
+            env = Environment()
+            platform = FaaSPlatform(env, RandomStreams(seed=0))
+        entered = {}
+
+        def handler(ctx, payload):
+            entered["at"] = ctx.now
+            yield from ctx.sleep(0.0)
+
+        platform.register(FunctionSpec("f", handler))
+        act = platform.invoke("f")
+        env.run()
+        return entered["at"] - act.started_at  # the dispatch latency
+
+    assert run_one(spiked) > run_one(None) * 5
+
+
+# --------------------------------------------------------- storage injection
+def test_kv_errors_exhaust_retries_and_surface():
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    injector = FaultInjector(
+        FaultProfile(kv_error_rate=1.0, max_storage_retries=2), streams
+    )
+    kv = KVStore(env, streams, faults=injector)
+
+    def writer():
+        yield from kv.set("k", b"x" * 100)
+
+    env.process(writer())
+    with pytest.raises(TransientStorageError):
+        env.run()
+    # 1 initial failure + 2 retries, all failed.
+    assert injector.stats.injected["redis_error"] == 3
+    assert injector.stats.recovered["storage_retry"] == 2
+
+
+class ScriptedFaults:
+    """Injector stand-in with a scripted storage failure sequence."""
+
+    def __init__(self, fates, max_retries=4):
+        self.profile = FaultProfile(kv_error_rate=0.5,
+                                    max_storage_retries=max_retries)
+        self.stats = FaultStats()
+        self._fates = list(fates)
+
+    def storage_should_fail(self, service):
+        fail = self._fates.pop(0) if self._fates else False
+        if fail:
+            self.stats.note_injected(f"{service}_error")
+        return fail
+
+
+def test_kv_transient_error_recovers_after_retry():
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    faults = ScriptedFaults([True, True, False])
+    kv = KVStore(env, streams, faults=faults)
+
+    def roundtrip():
+        yield from kv.set("k", 123)
+        value = yield from kv.get("k")
+        return value
+
+    proc = env.process(roundtrip())
+    env.run()
+    assert proc.ok and proc.value == 123
+    assert faults.stats.injected["redis_error"] == 2
+    assert faults.stats.recovered["storage_retry"] == 2
+
+
+def test_storage_retry_takes_simulated_time():
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    clean_env = Environment()
+    clean = KVStore(clean_env, RandomStreams(seed=0))
+    flaky = KVStore(env, streams, faults=ScriptedFaults([True, False]))
+
+    def write(kv):
+        yield from kv.set("k", b"x" * 1000)
+
+    env.process(write(flaky))
+    clean_env.process(write(clean))
+    env.run()
+    clean_env.run()
+    assert env.now > clean_env.now  # failed attempt + backoff cost time
+
+
+# ------------------------------------------------------------- mq injection
+def make_mq(profile, seed=0):
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    injector = FaultInjector(profile, streams)
+    return env, MessageQueue(env, streams, faults=injector), injector
+
+
+def test_message_loss_drops_published_message():
+    env, mq, injector = make_mq(FaultProfile(message_loss_rate=1.0))
+
+    def publisher():
+        yield from mq.publish("q", {"x": 1})
+
+    env.process(publisher())
+    env.run()
+    assert mq.depth("q") == 0
+    assert injector.stats.injected["message_loss"] == 1
+
+
+def test_message_duplication_delivers_twice():
+    env, mq, injector = make_mq(FaultProfile(message_duplication_rate=1.0))
+
+    def publisher():
+        yield from mq.publish("q", {"x": 1})
+
+    env.process(publisher())
+    env.run()
+    assert mq.depth("q") == 2
+    assert injector.stats.injected["message_duplication"] == 1
+
+
+def test_consume_with_timeout_returns_none_when_empty():
+    env = Environment()
+    mq = MessageQueue(env, RandomStreams(seed=0))
+
+    def consumer():
+        message = yield from mq.consume_with_timeout("q", 2.0)
+        return message
+
+    proc = env.process(consumer())
+    env.run()
+    assert proc.ok and proc.value is None
+    assert env.now >= 2.0
+
+
+def test_consume_with_timeout_gets_message_in_time():
+    env = Environment()
+    mq = MessageQueue(env, RandomStreams(seed=0))
+
+    def publisher():
+        yield env.timeout(0.5)
+        yield from mq.publish("q", "hello")
+
+    def consumer():
+        message = yield from mq.consume_with_timeout("q", 10.0)
+        return message
+
+    env.process(publisher())
+    proc = env.process(consumer())
+    env.run()
+    assert proc.ok and proc.value == "hello"
+
+
+def test_timed_out_get_does_not_steal_later_messages():
+    # After a consumer times out, a message published later must go to the
+    # next consumer, not vanish into the abandoned get.
+    env = Environment()
+    mq = MessageQueue(env, RandomStreams(seed=0))
+
+    def impatient():
+        message = yield from mq.consume_with_timeout("q", 1.0)
+        return message
+
+    def publisher():
+        yield env.timeout(2.0)
+        yield from mq.publish("q", "late")
+
+    def patient():
+        yield env.timeout(1.5)
+        message = yield from mq.consume("q")
+        return message
+
+    first = env.process(impatient())
+    env.process(publisher())
+    second = env.process(patient())
+    env.run()
+    assert first.ok and first.value is None
+    assert second.ok and second.value == "late"

@@ -1,7 +1,6 @@
 """Unit tests for the PyWren-style map-reduce framework."""
 
 import numpy as np
-import pytest
 
 from repro.faas import FaaSPlatform
 from repro.mapreduce import PyWrenExecutor, normalize_via_mapreduce

@@ -1,6 +1,5 @@
 """Unit tests for the control-message schema and RunResult metrics."""
 
-import numpy as np
 import pytest
 
 from repro.core import RunResult, perf_per_dollar

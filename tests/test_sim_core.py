@@ -4,10 +4,8 @@ import pytest
 
 from repro.sim import (
     Environment,
-    Event,
     Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Environment
+from repro.sim import AllOf, Environment
 
 
 def test_allof_waits_for_every_event():

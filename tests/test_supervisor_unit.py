@@ -1,10 +1,9 @@
 """Unit tests for supervisor internals and the worker checkpoint object."""
 
 import numpy as np
-import pytest
 
-from repro.core.config import AutoTunerConfig, JobConfig
-from repro.core.runtime import JobRuntime, WorkerCheckpoint
+from repro.core.config import JobConfig
+from repro.core.runtime import WorkerCheckpoint
 from repro.core.significance import SignificanceFilter
 from repro.core.supervisor import SupervisorState, _pick_victim, _stop_condition
 from repro.ml import ParameterSet

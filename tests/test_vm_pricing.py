@@ -1,7 +1,5 @@
 """Unit tests for the VM substrate, collectives, and pricing/metering."""
 
-import math
-
 import pytest
 
 from repro.pricing import (
