@@ -1,0 +1,43 @@
+"""Simulation-purity static analysis (``sim-lint``) and determinism oracle.
+
+Everything this reproduction claims — convergence curves, bills, the
+PR-1 fault-injection story — rests on the DES kernel being
+bit-deterministic: one seed, one byte-identical event schedule.  The
+invariants that guarantee this (named RNG streams, no wall-clock in
+simulated layers, stable event ordering) used to live only in
+docstrings; this package makes violating them a CI failure.
+
+Two complementary halves:
+
+``repro.analysis`` (static)
+    An AST-based analyzer (``python -m repro.analysis``) enforcing rules
+    SIM001..SIM006 over the source tree.  Pure ``ast`` + a small rule
+    engine — no third-party lint framework.  Findings are suppressible
+    per line (``# sim-lint: disable=SIM00x``), per module (the
+    ``[tool.sim-lint]`` allowlist in ``pyproject.toml``) or via a
+    ``--baseline`` file for grandfathered findings.
+
+``repro.analysis.determinism`` (runtime)
+    An end-to-end oracle that runs a small training job twice, hashes
+    the per-event monitor trace, and pinpoints the first diverging
+    event.  The static rules catch hazards the oracle's single workload
+    never executes; the oracle catches semantic non-determinism no
+    syntactic rule can see.
+"""
+
+from .baseline import load_baseline, write_baseline
+from .config import SimLintConfig, load_config
+from .engine import Finding, analyze_paths, iter_source_files
+from .rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "SimLintConfig",
+    "analyze_paths",
+    "iter_source_files",
+    "load_baseline",
+    "load_config",
+    "rule_by_id",
+    "write_baseline",
+]

@@ -1,0 +1,67 @@
+"""Baseline-file support for grandfathered findings.
+
+A baseline is a JSON list of finding records (fingerprint plus
+human-readable context).  Findings whose fingerprint appears in the
+baseline are reported separately and do not fail the run, so the
+analyzer can be adopted on a tree with pre-existing violations and
+ratcheted down.  This repo ships an **empty** baseline
+(``analysis-baseline.json``): the tree starts clean, and the file exists
+only so CI pins the contract that it stays that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_by_baseline"]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of grandfathered fingerprints in ``path``.
+
+    Accepts either a bare list of fingerprint strings or a list of
+    record objects with a ``fingerprint`` key (what
+    :func:`write_baseline` emits).
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"baseline {path}: expected a JSON list, got {type(data).__name__}")
+    fingerprints: Set[str] = set()
+    for entry in data:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(str(entry["fingerprint"]))
+        else:
+            raise ValueError(f"baseline {path}: unrecognised entry {entry!r}")
+    return fingerprints
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "module": f.module,
+            "snippet": f.snippet,
+        }
+        for f in sorted(findings, key=lambda f: (f.module, f.line, f.rule))
+    ]
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, grandfathered)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in baseline else new).append(finding)
+    return new, old

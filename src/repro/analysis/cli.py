@@ -1,0 +1,158 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Examples::
+
+    python -m repro.analysis                        # scan src/repro, text output
+    python -m repro.analysis --json                 # machine-readable report
+    python -m repro.analysis --baseline analysis-baseline.json
+    python -m repro.analysis --rules SIM001,SIM003 src/repro/sim
+    python -m repro.analysis --write-baseline analysis-baseline.json
+
+Exit codes: 0 clean (no non-grandfathered findings), 1 findings, 2 bad
+invocation or unreadable configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .config import load_config
+from .engine import Finding, analyze_paths
+from .rules import ALL_RULES, iter_rule_docs, rule_by_id
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Simulation-purity static analysis for the MLLess reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE as well as stdout",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of grandfathered findings that do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", dest="write_baseline_path",
+        help="write current findings to FILE as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT",
+        help="pyproject.toml holding [tool.sim-lint] (default: discovered upward)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule subset to run (e.g. SIM001,SIM003)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for doc in iter_rule_docs():
+            print(f"{doc['id']}: {doc['title']}")
+            for line in doc["doc"].splitlines():
+                print(f"    {line.rstrip()}")
+            print()
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except KeyError as exc:
+        parser.error(str(exc))
+
+    scan_paths = [Path(p) for p in args.paths]
+    missing = [p for p in scan_paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    config_path = Path(args.config) if args.config else None
+    if config_path is not None and not config_path.is_file():
+        print(f"error: config file not found: {config_path}", file=sys.stderr)
+        return 2
+    config = load_config(pyproject=config_path, start=scan_paths[0])
+
+    findings = analyze_paths(scan_paths, config=config, rules=rules)
+
+    if args.write_baseline_path:
+        count = write_baseline(findings, Path(args.write_baseline_path))
+        print(f"wrote {count} finding(s) to baseline {args.write_baseline_path}")
+        return 0
+
+    grandfathered: List[Finding] = []
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered = split_by_baseline(findings, fingerprints)
+
+    report = _render_json(findings, grandfathered) if args.as_json else _render_text(
+        findings, grandfathered
+    )
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    return 1 if findings else 0
+
+
+def _select_rules(spec: Optional[str]):
+    if not spec:
+        return list(ALL_RULES)
+    return [rule_by_id(rule_id.strip()) for rule_id in spec.split(",") if rule_id.strip()]
+
+
+def _render_text(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        lines.append(f"    {finding.snippet}")
+    summary = f"sim-lint: {len(findings)} finding(s)"
+    if grandfathered:
+        summary += f", {len(grandfathered)} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    by_rule: dict = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "grandfathered": [f.to_dict() for f in grandfathered],
+        "counts": {"total": len(findings), "by_rule": by_rule},
+        "clean": not findings,
+    }
+    return json.dumps(payload, indent=2)

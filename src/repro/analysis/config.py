@@ -1,0 +1,246 @@
+"""``[tool.sim-lint]`` configuration loading.
+
+Configuration lives in ``pyproject.toml`` so the analyzer, CI and
+developers all read one source of truth.  Recognised keys (all optional;
+defaults reproduce the repo layout)::
+
+    [tool.sim-lint]
+    # package-relative directories that run on the simulated clock —
+    # SIM001/SIM003/SIM005/SIM006 apply only here
+    simulated-layers = ["sim", "faas", "storage", "net", "vm", "core", "faults"]
+    # modules where float ==/!= comparisons are audited (SIM004)
+    billing-modules = ["faas/billing.py", "experiments/report.py"]
+    # path fragments excluded from scanning entirely
+    exclude = []
+
+    [tool.sim-lint.allow]
+    # per-module rule allowlist: these modules may use the listed rules'
+    # banned constructs (e.g. explicitly seeded RNG factories)
+    "sim/rand.py" = ["SIM002"]
+
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.9/3.10 (no
+tomllib, and this repo adds no third-party dependencies) a minimal
+line-oriented fallback parser handles the subset of TOML these tables
+use: section headers, string values, booleans, and (possibly multi-line)
+arrays of strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SimLintConfig", "load_config", "parse_toml_subset"]
+
+#: directories (relative to the package root) simulated-clock rules police
+DEFAULT_SIMULATED_LAYERS = (
+    "sim",
+    "faas",
+    "storage",
+    "net",
+    "vm",
+    "core",
+    "faults",
+)
+
+#: modules whose arithmetic feeds bills / reports (SIM004 scope)
+DEFAULT_BILLING_MODULES = (
+    "faas/billing.py",
+    "experiments/report.py",
+    "pricing/meter.py",
+    "pricing/catalog.py",
+)
+
+
+@dataclass(frozen=True)
+class SimLintConfig:
+    """Resolved analyzer configuration."""
+
+    simulated_layers: Tuple[str, ...] = DEFAULT_SIMULATED_LAYERS
+    billing_modules: Tuple[str, ...] = DEFAULT_BILLING_MODULES
+    exclude: Tuple[str, ...] = ()
+    #: module path -> rule ids permitted module-wide
+    allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def in_simulated_layer(self, module: str) -> bool:
+        """True when ``module`` (package-relative posix path) is simulated."""
+        return any(
+            module == layer or module.startswith(layer + "/")
+            for layer in self.simulated_layers
+        )
+
+    def is_billing_module(self, module: str) -> bool:
+        return module in self.billing_modules
+
+    def allowed_rules(self, module: str) -> Tuple[str, ...]:
+        return self.allow.get(module, ())
+
+    def is_excluded(self, module: str) -> bool:
+        return any(fragment and fragment in module for fragment in self.exclude)
+
+
+def load_config(pyproject: Optional[Path] = None, start: Optional[Path] = None) -> SimLintConfig:
+    """Load ``[tool.sim-lint]`` from ``pyproject``.
+
+    When ``pyproject`` is None, search upward from ``start`` (or the
+    current directory) for a ``pyproject.toml``.  A missing file or a
+    file without the table yields the defaults.
+    """
+    if pyproject is None:
+        pyproject = _discover_pyproject(start or Path.cwd())
+    if pyproject is None or not pyproject.is_file():
+        return SimLintConfig()
+    data = _read_toml(pyproject)
+    table = data.get("tool", {}).get("sim-lint", {})
+    if not isinstance(table, dict):
+        return SimLintConfig()
+    return config_from_table(table)
+
+
+def config_from_table(table: dict) -> SimLintConfig:
+    """Build a :class:`SimLintConfig` from a parsed ``[tool.sim-lint]`` table."""
+    kwargs: dict = {}
+    layers = table.get("simulated-layers")
+    if isinstance(layers, list):
+        kwargs["simulated_layers"] = tuple(str(x).strip("/") for x in layers)
+    billing = table.get("billing-modules")
+    if isinstance(billing, list):
+        kwargs["billing_modules"] = tuple(str(x) for x in billing)
+    exclude = table.get("exclude")
+    if isinstance(exclude, list):
+        kwargs["exclude"] = tuple(str(x) for x in exclude)
+    allow = table.get("allow")
+    if isinstance(allow, dict):
+        kwargs["allow"] = {
+            str(module): tuple(str(r).upper() for r in rules)
+            for module, rules in allow.items()
+            if isinstance(rules, list)
+        }
+    return SimLintConfig(**kwargs)
+
+
+def _discover_pyproject(start: Path) -> Optional[Path]:
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _read_toml(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:
+        return parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+# -- fallback parser (Python 3.9/3.10, stdlib only) ------------------------
+
+_SECTION_RE = re.compile(r"^\[\s*([^\]]+?)\s*\]\s*$")
+_KEY_RE = re.compile(r"""^\s*(?:"([^"]+)"|'([^']+)'|([A-Za-z0-9_.-]+))\s*=\s*(.*)$""")
+_STRING_RE = re.compile(r"""^(?:"([^"]*)"|'([^']*)')$""")
+
+
+def parse_toml_subset(text: str) -> dict:
+    """Parse the TOML subset ``[tool.sim-lint]`` uses into nested dicts.
+
+    Supports: ``[dotted.section]`` headers, ``key = "string"``,
+    ``key = true/false``, integers/floats, and arrays of strings that may
+    span multiple lines.  Unparseable values are skipped (this fallback
+    only needs to be correct for the sim-lint tables; it must merely not
+    crash on the rest of the file).
+    """
+    root: dict = {}
+    section = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip_comment(lines[i])
+        i += 1
+        if not line.strip():
+            continue
+        header = _SECTION_RE.match(line.strip())
+        if header:
+            section = root
+            for part in _split_section(header.group(1)):
+                section = section.setdefault(part, {})
+                if not isinstance(section, dict):  # scalar collision: bail out
+                    section = {}
+            continue
+        key_match = _KEY_RE.match(line)
+        if not key_match:
+            continue
+        key = next(g for g in key_match.groups()[:3] if g is not None)
+        value_src = key_match.group(4).strip()
+        if value_src.startswith("[") and "]" not in value_src:
+            # multi-line array: accumulate until the closing bracket
+            parts = [value_src]
+            while i < len(lines):
+                fragment = _strip_comment(lines[i])
+                i += 1
+                parts.append(fragment.strip())
+                if "]" in fragment:
+                    break
+            value_src = " ".join(parts)
+        value = _parse_value(value_src)
+        if value is not None:
+            section[key] = value
+    return root
+
+
+def _split_section(name: str) -> List[str]:
+    parts: List[str] = []
+    for raw in re.findall(r'"[^"]*"|\'[^\']*\'|[^.]+', name):
+        parts.append(raw.strip().strip("\"'"))
+    return [p for p in parts if p]
+
+
+def _strip_comment(line: str) -> str:
+    out: List[str] = []
+    quote = ""
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = ""
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _parse_value(src: str):
+    src = src.strip().rstrip(",").strip()
+    if not src:
+        return None
+    if src in ("true", "false"):
+        return src == "true"
+    string = _STRING_RE.match(src)
+    if string:
+        return string.group(1) if string.group(1) is not None else string.group(2)
+    if src.startswith("[") and src.endswith("]"):
+        inner = src[1:-1]
+        items = [
+            m.group(0).strip().strip("\"'")
+            for m in re.finditer(r'"[^"]*"|\'[^\']*\'', inner)
+        ]
+        return items
+    try:
+        return int(src)
+    except ValueError:
+        pass
+    try:
+        return float(src)
+    except ValueError:
+        return None

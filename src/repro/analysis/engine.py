@@ -1,0 +1,245 @@
+"""The sim-lint rule engine: file discovery, suppression, rule dispatch.
+
+Deliberately framework-free: a rule is an object with an ``id``, a
+``scope`` predicate (which modules it polices, derived from
+:class:`~repro.analysis.config.SimLintConfig`), and a ``check`` method
+that walks a parsed AST and yields findings.  The engine owns everything
+rules share: stable file ordering, module-path normalisation,
+``# sim-lint: disable=`` comment handling, the per-module allowlist, and
+deterministic output ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .config import SimLintConfig
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "analyze_paths",
+    "iter_source_files",
+    "module_path",
+    "parse_suppressions",
+]
+
+#: ``# sim-lint: disable=SIM001`` or ``...disable=SIM001,SIM003 — prose``
+_SUPPRESS_RE = re.compile(
+    r"#\s*sim-lint:\s*disable\s*=\s*([A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*|all)",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a precise source location."""
+
+    rule: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity, for baseline files.
+
+        Hashing (rule, module, source text) instead of (rule, path, line)
+        keeps grandfathered findings pinned through unrelated edits that
+        shift line numbers.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule}::{self.module}::{self.snippet}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    lines: Sequence[str]
+    tree: ast.AST
+    config: SimLintConfig
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            rule=rule_id,
+            path=str(self.path),
+            module=self.module,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+    def segment(self, node: ast.AST) -> str:
+        return ast.get_source_segment(self.source, node) or ""
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Per-line suppressed rule ids (1-based), from sim-lint comments.
+
+    ``disable=all`` suppresses every rule on that line.  Trailing prose
+    after the rule list is permitted and encouraged::
+
+        if value == 0:  # sim-lint: disable=SIM004 — exact-zero display check
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        spec = match.group(1)
+        if spec == "all":
+            suppressed[lineno] = {"all"}
+        else:
+            suppressed[lineno] = {part.strip().upper() for part in spec.split(",")}
+    return suppressed
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """All ``.py`` files under ``paths``, each exactly once, sorted.
+
+    Sorting makes the finding order (and therefore text/JSON output and
+    exit codes under ``--baseline``) independent of filesystem order.
+    """
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates: Iterable[Path] = path.rglob("*.py")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(sorted(collected, key=lambda p: str(p)))
+
+
+def module_path(path: Path) -> str:
+    """``path`` relative to its top-level package, as a posix string.
+
+    Walks up while ``__init__.py`` is present, so
+    ``src/repro/core/worker.py`` and ``core/worker.py`` (scanned from a
+    different cwd) both normalise to ``core/worker.py`` — which is what
+    the config's layer prefixes and allowlist keys are written against.
+    A file outside any package is its own module path (file name).
+    """
+    path = Path(path).resolve()
+    top_package = path.parent
+    current = path.parent
+    while (current / "__init__.py").is_file() and current.parent != current:
+        top_package = current
+        current = current.parent
+    if (top_package / "__init__.py").is_file():
+        return path.relative_to(top_package).as_posix()
+    return path.name
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config: Optional[SimLintConfig] = None,
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Run ``rules`` over every source file under ``paths``.
+
+    Returns findings sorted by (module, line, col, rule), already
+    filtered through per-line suppressions and the module allowlist.
+    """
+    from .rules import ALL_RULES
+
+    config = config or SimLintConfig()
+    active_rules = list(rules if rules is not None else ALL_RULES)
+    findings: List[Finding] = []
+    for path in iter_source_files(paths):
+        module = module_path(path)
+        if config.is_excluded(module):
+            continue
+        findings.extend(_analyze_file(path, module, config, active_rules))
+    findings.sort(key=lambda f: (f.module, f.line, f.col, f.rule))
+    return findings
+
+
+def _analyze_file(
+    path: Path, module: str, config: SimLintConfig, rules: Sequence
+) -> List[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [_degenerate_finding(path, module, f"unreadable file: {exc}")]
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SIM000",
+                path=str(path),
+                module=module,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    ctx = FileContext(
+        path=path, module=module, source=source, lines=lines, tree=tree, config=config
+    )
+    suppressions = parse_suppressions(lines)
+    allowed = set(config.allowed_rules(module))
+    results: List[Finding] = []
+    for rule in rules:
+        if rule.id in allowed or not rule.scope(config, module):
+            continue
+        for finding in rule.check(ctx):
+            line_rules = suppressions.get(finding.line, ())
+            if "all" in line_rules or finding.rule in line_rules:
+                continue
+            results.append(finding)
+    return results
+
+
+def _degenerate_finding(path: Path, module: str, message: str) -> Finding:
+    return Finding(
+        rule="SIM000",
+        path=str(path),
+        module=module,
+        line=1,
+        col=1,
+        message=message,
+        snippet="",
+    )

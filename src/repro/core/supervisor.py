@@ -320,8 +320,13 @@ def _gc_keys(runtime: JobRuntime, keys: List[str]) -> Generator:
 
 
 def _pick_victim(state: SupervisorState) -> Optional[int]:
-    """The worker with the lowest-quality replica = highest reported loss."""
-    candidates = [w for w in state.active if w in state.last_loss]
+    """The worker with the lowest-quality replica = highest reported loss.
+
+    Candidates are sorted so that loss ties break by lowest worker id —
+    ``max`` returns the first maximal element, and iterating the
+    ``active`` set directly would tie-break by hash order instead.
+    """
+    candidates = [w for w in sorted(state.active) if w in state.last_loss]
     if not candidates:
         return None
     return max(candidates, key=lambda w: state.last_loss[w])

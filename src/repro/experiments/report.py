@@ -19,7 +19,7 @@ def _format_cell(value: Cell) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
-        if value == 0:
+        if value == 0:  # sim-lint: disable=SIM004 — exact-zero display check, not metering math
             return "0"
         if abs(value) >= 1000:
             return f"{value:,.0f}"

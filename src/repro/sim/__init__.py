@@ -17,7 +17,7 @@ from .core import (
     Timeout,
 )
 from .events import AllOf, AnyOf, Condition
-from .monitor import Monitor, Series
+from .monitor import Monitor, Series, TraceEntry
 from .rand import RandomStreams
 from .resources import Container, Request, Resource, Store
 
@@ -39,4 +39,5 @@ __all__ = [
     "RandomStreams",
     "Monitor",
     "Series",
+    "TraceEntry",
 ]

@@ -8,12 +8,16 @@ statistics without every component re-implementing bookkeeping.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Monitor", "Series"]
+__all__ = ["Monitor", "Series", "TraceEntry"]
+
+#: one traced ``record()`` call: (ordinal, series name, sim time, value)
+TraceEntry = Tuple[int, str, float, float]
 
 
 @dataclass
@@ -77,13 +81,54 @@ class Series:
 
 
 class Monitor:
-    """A registry of named series attached to a simulation run."""
+    """A registry of named series attached to a simulation run.
 
-    def __init__(self):
+    With tracing enabled (``Monitor(trace=True)`` or
+    :meth:`enable_trace`), every ``record()`` call is also appended — in
+    call order, across all series — to an event trace that
+    :meth:`trace_digest` hashes bit-exactly.  Two runs of the same seed
+    must produce identical digests; the determinism oracle in
+    :mod:`repro.analysis.determinism` is built on this hook.
+    """
+
+    def __init__(self, trace: bool = False):
         self._series: Dict[str, Series] = {}
+        self._trace: Optional[List[TraceEntry]] = [] if trace else None
 
     def record(self, name: str, time: float, value: float) -> None:
         self.series(name).append(time, value)
+        if self._trace is not None:
+            self._trace.append((len(self._trace), name, float(time), float(value)))
+
+    # -- trace hook ------------------------------------------------------
+    def enable_trace(self) -> None:
+        """Start tracing ``record()`` calls (idempotent)."""
+        if self._trace is None:
+            self._trace = []
+
+    @property
+    def tracing(self) -> bool:
+        return self._trace is not None
+
+    @property
+    def trace(self) -> Sequence[TraceEntry]:
+        """The ordered trace so far (empty when tracing is off)."""
+        return tuple(self._trace) if self._trace is not None else ()
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the trace, bit-exact in the float values.
+
+        Floats are serialised with ``float.hex()`` so two runs only hash
+        equal when every recorded sample is *bit*-identical — a formatted
+        decimal would paper over last-ulp divergence, which is exactly
+        what the determinism oracle exists to catch.
+        """
+        digest = hashlib.sha256()
+        for ordinal, name, time, value in self.trace:
+            digest.update(
+                f"{ordinal}|{name}|{float(time).hex()}|{float(value).hex()}\n".encode()
+            )
+        return digest.hexdigest()
 
     def series(self, name: str) -> Series:
         if name not in self._series:

@@ -1,0 +1,42 @@
+"""Fixture helpers: materialise snippet packages and lint them."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SimLintConfig, analyze_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write ``source`` into a synthetic package and run the analyzer.
+
+    The snippet is placed at ``pkg/<layer>/<filename>`` with the
+    ``__init__.py`` chain the module-path normaliser expects, so the
+    default layer scoping (``sim``, ``faas``, ...) applies exactly as it
+    does to the real tree.
+    """
+
+    def _lint(source, layer="sim", filename="mod.py", config=None, rules=None):
+        package = tmp_path / "pkg"
+        module_dir = package / layer if layer else package
+        module_dir.mkdir(parents=True, exist_ok=True)
+        (package / "__init__.py").write_text("")
+        current = module_dir
+        while current != package:
+            (current / "__init__.py").write_text("")
+            current = current.parent
+        (module_dir / filename).write_text(textwrap.dedent(source))
+        return analyze_paths(
+            [package], config=config or SimLintConfig(), rules=rules
+        )
+
+    return _lint
+
+
+@pytest.fixture(scope="session")
+def repo_paths():
+    """(repo root, src/repro) resolved from this test file's location."""
+    root = Path(__file__).resolve().parents[2]
+    return root, root / "src" / "repro"

@@ -1,0 +1,206 @@
+"""Engine plumbing: config parsing, fingerprints, baseline files, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    SimLintConfig,
+    load_baseline,
+    load_config,
+    write_baseline,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.config import config_from_table, parse_toml_subset
+from repro.analysis.engine import module_path, parse_suppressions
+
+BAD_SIM_MODULE = """
+import time
+
+def latency():
+    return time.time()
+"""
+
+
+def write_package(tmp_path, source=BAD_SIM_MODULE, layer="sim"):
+    package = tmp_path / "pkg"
+    (package / layer).mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / layer / "__init__.py").write_text("")
+    (package / layer / "mod.py").write_text(textwrap.dedent(source))
+    return package
+
+
+# -- config ------------------------------------------------------------------
+
+
+def test_toml_subset_parser_matches_expected_shape():
+    text = textwrap.dedent(
+        """
+        [project]
+        name = "x"  # trailing comment
+
+        [tool.sim-lint]
+        simulated-layers = ["sim", "faas"]
+        exclude = []
+        billing-modules = [
+            "faas/billing.py",  # multi-line array
+            "experiments/report.py",
+        ]
+
+        [tool.sim-lint.allow]
+        "sim/rand.py" = ["SIM002", "SIM005"]
+        """
+    )
+    table = parse_toml_subset(text)["tool"]["sim-lint"]
+    assert table["simulated-layers"] == ["sim", "faas"]
+    assert table["exclude"] == []
+    assert table["billing-modules"] == ["faas/billing.py", "experiments/report.py"]
+    assert table["allow"] == {"sim/rand.py": ["SIM002", "SIM005"]}
+    config = config_from_table(table)
+    assert config.in_simulated_layer("faas/platform.py")
+    assert not config.in_simulated_layer("storage/base.py")
+    assert config.allowed_rules("sim/rand.py") == ("SIM002", "SIM005")
+
+
+def test_load_config_discovers_pyproject_upward(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.sim-lint]\nsimulated-layers = ["only"]\n'
+    )
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    config = load_config(start=nested)
+    assert config.simulated_layers == ("only",)
+
+
+def test_load_config_defaults_without_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    config = load_config(start=tmp_path)
+    assert config == SimLintConfig()
+
+
+def test_exclude_fragments_skip_modules():
+    config = SimLintConfig(exclude=("vendored",))
+    assert config.is_excluded("sim/vendored/thing.py")
+    assert not config.is_excluded("sim/core.py")
+
+
+# -- engine helpers ----------------------------------------------------------
+
+
+def test_module_path_strips_package_prefix(repo_paths):
+    _, src_repro = repo_paths
+    assert module_path(src_repro / "core" / "worker.py") == "core/worker.py"
+    assert module_path(src_repro / "sim" / "core.py") == "sim/core.py"
+
+
+def test_parse_suppressions_variants():
+    lines = [
+        "x = 1",
+        "y = f()  # sim-lint: disable=SIM001",
+        "z = g()  # sim-lint: disable=SIM001, SIM003 — prose after the list",
+        "w = h()  # sim-lint: disable=all",
+    ]
+    assert parse_suppressions(lines) == {
+        2: {"SIM001"},
+        3: {"SIM001", "SIM003"},
+        4: {"all"},
+    }
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding("SIM001", "p.py", "sim/p.py", 10, 5, "m", "return time.time()")
+    b = Finding("SIM001", "p.py", "sim/p.py", 99, 1, "m", "return time.time()")
+    c = Finding("SIM002", "p.py", "sim/p.py", 10, 5, "m", "return time.time()")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+
+
+# -- CLI + baseline ----------------------------------------------------------
+
+
+def test_cli_exits_nonzero_with_precise_location(tmp_path, capsys):
+    package = write_package(tmp_path)
+    assert cli_main([str(package)]) == 1
+    out = capsys.readouterr().out
+    assert "mod.py:5:12: SIM001" in out
+    assert "sim-lint: 1 finding(s)" in out
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    package = write_package(tmp_path, source="def f(env):\n    return env.now\n")
+    assert cli_main([str(package)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_json_report_and_output_file(tmp_path, capsys):
+    package = write_package(tmp_path)
+    report_path = tmp_path / "report.json"
+    assert cli_main([str(package), "--json", "--output", str(report_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["counts"] == {"total": 1, "by_rule": {"SIM001": 1}}
+    assert json.loads(report_path.read_text()) == payload
+
+
+def test_cli_rules_filter(tmp_path, capsys):
+    package = write_package(tmp_path)
+    assert cli_main([str(package), "--rules", "SIM002"]) == 0
+    capsys.readouterr()
+    assert cli_main([str(package), "--rules", "SIM001"]) == 1
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        cli_main([str(package), "--rules", "SIM999"])
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+        assert rule_id in out
+
+
+def test_cli_missing_path_exits_2(tmp_path, capsys):
+    assert cli_main([str(tmp_path / "nope")]) == 2
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path, capsys):
+    package = write_package(tmp_path)
+    baseline = tmp_path / "baseline.json"
+
+    assert cli_main([str(package), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    entries = json.loads(baseline.read_text())
+    assert len(entries) == 1 and entries[0]["rule"] == "SIM001"
+
+    # grandfathered finding no longer fails the run...
+    assert cli_main([str(package), "--baseline", str(baseline)]) == 0
+    assert "1 grandfathered" in capsys.readouterr().out
+
+    # ...but a fresh violation still does
+    module = package / "sim" / "mod.py"
+    module.write_text(module.read_text() + "\n\ndef m():\n    return time.monotonic()\n")
+    assert cli_main([str(package), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "time.monotonic" in out and "1 grandfathered" in out
+
+
+def test_load_baseline_accepts_bare_fingerprints(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text('["abc123", {"fingerprint": "def456"}]')
+    assert load_baseline(path) == {"abc123", "def456"}
+    path.write_text('{"not": "a list"}')
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_write_baseline_round_trip(tmp_path):
+    findings = [
+        Finding("SIM001", "p.py", "sim/p.py", 1, 1, "m", "time.time()"),
+        Finding("SIM003", "q.py", "sim/q.py", 2, 1, "m", "for x in {1}:"),
+    ]
+    path = tmp_path / "b.json"
+    assert write_baseline(findings, path) == 2
+    assert load_baseline(path) == {f.fingerprint for f in findings}

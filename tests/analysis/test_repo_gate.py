@@ -1,0 +1,50 @@
+"""The gate: the real source tree must be sim-lint clean, with an empty
+baseline, and stay that way."""
+
+import json
+
+from repro.analysis import analyze_paths, load_config
+
+
+def test_src_repro_is_clean(repo_paths):
+    root, src_repro = repo_paths
+    config = load_config(pyproject=root / "pyproject.toml")
+    findings = analyze_paths([src_repro], config=config)
+    details = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in findings)
+    assert findings == [], f"sim-lint findings in src/repro:\n{details}"
+
+
+def test_committed_baseline_is_empty(repo_paths):
+    root, _ = repo_paths
+    baseline = root / "analysis-baseline.json"
+    assert baseline.is_file(), "analysis-baseline.json must exist for CI"
+    assert json.loads(baseline.read_text()) == [], (
+        "the committed baseline must stay empty: fix or explicitly suppress "
+        "findings instead of grandfathering them"
+    )
+
+
+def test_an_injected_violation_is_caught(repo_paths, tmp_path):
+    """End-to-end: a wall-clock read dropped into a simulated layer fails.
+
+    Copies one real kernel module into a synthetic package, injects a
+    ``time.time()`` call, and asserts the analyzer reports it with a
+    precise location — the acceptance criterion for the static half.
+    """
+    root, src_repro = repo_paths
+    package = tmp_path / "pkg"
+    (package / "sim").mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "sim" / "__init__.py").write_text("")
+    source = (src_repro / "sim" / "core.py").read_text()
+    source = source.replace(
+        "def peek(self) -> float:",
+        "def peek(self) -> float:\n        import time\n        _ = time.time()",
+        1,
+    )
+    (package / "sim" / "core.py").write_text(source)
+    config = load_config(pyproject=root / "pyproject.toml")
+    findings = analyze_paths([package], config=config)
+    assert [f.rule for f in findings] == ["SIM001"]
+    assert findings[0].module == "sim/core.py"
+    assert findings[0].line > 0 and "time.time" in findings[0].message

@@ -1,0 +1,374 @@
+"""Per-rule fixture tests: one failing and one passing snippet each,
+plus suppression-comment and allowlist behaviour."""
+
+from repro.analysis import SimLintConfig
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# -- SIM001: wall-clock ban ------------------------------------------------
+
+
+def test_sim001_flags_wall_clock_read(lint_snippet):
+    findings = lint_snippet(
+        """
+        import time
+
+        def latency():
+            return time.time()
+        """
+    )
+    assert rule_ids(findings) == ["SIM001"]
+    assert "time.time" in findings[0].message
+
+
+def test_sim001_flags_aliased_from_import(lint_snippet):
+    findings = lint_snippet(
+        """
+        from time import perf_counter as clock
+
+        def latency():
+            return clock()
+        """
+    )
+    assert rule_ids(findings) == ["SIM001"]
+
+
+def test_sim001_passes_sim_clock_and_non_sim_layers(lint_snippet):
+    assert (
+        lint_snippet(
+            """
+            def latency(env):
+                return env.now
+            """
+        )
+        == []
+    )
+    # wall-clock is fine outside the simulated layers (e.g. experiment timers)
+    assert (
+        lint_snippet(
+            """
+            import time
+
+            def stopwatch():
+                return time.time()
+            """,
+            layer="experiments",
+        )
+        == []
+    )
+
+
+# -- SIM002: global RNG ban ------------------------------------------------
+
+
+def test_sim002_flags_stdlib_and_numpy_global_rng(lint_snippet):
+    findings = lint_snippet(
+        """
+        import random
+        import numpy as np
+
+        def draw():
+            a = random.random()
+            b = np.random.rand(3)
+            return a, b
+        """
+    )
+    assert rule_ids(findings) == ["SIM002", "SIM002"]
+
+
+def test_sim002_flags_default_rng_outside_factories(lint_snippet):
+    findings = lint_snippet(
+        """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(42)
+        """
+    )
+    assert rule_ids(findings) == ["SIM002"]
+
+
+def test_sim002_applies_outside_simulated_layers_too(lint_snippet):
+    findings = lint_snippet(
+        """
+        import random
+
+        def shuffle(xs):
+            random.shuffle(xs)
+        """,
+        layer="experiments",
+    )
+    assert rule_ids(findings) == ["SIM002"]
+
+
+def test_sim002_passes_stream_draws_and_seed_plumbing(lint_snippet):
+    findings = lint_snippet(
+        """
+        import numpy as np
+
+        def jitter(rng: np.random.Generator, streams):
+            seq = np.random.SeedSequence([1, 2])
+            return rng.normal() + streams.stream("net").uniform(), seq
+        """
+    )
+    assert findings == []
+
+
+def test_sim002_module_allowlist(lint_snippet):
+    config = SimLintConfig(allow={"sim/mod.py": ("SIM002",)})
+    findings = lint_snippet(
+        """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(42)
+        """,
+        config=config,
+    )
+    assert findings == []
+
+
+# -- SIM003: unordered iteration -------------------------------------------
+
+
+def test_sim003_flags_set_literal_call_and_comprehension(lint_snippet):
+    findings = lint_snippet(
+        """
+        def schedule(items):
+            for x in {1, 2, 3}:
+                pass
+            for y in set(items):
+                pass
+            return [z for z in {i % 4 for i in items}]
+        """
+    )
+    assert rule_ids(findings) == ["SIM003", "SIM003", "SIM003"]
+
+
+def test_sim003_flags_local_set_variable_and_set_ops(lint_snippet):
+    findings = lint_snippet(
+        """
+        def schedule(items, done):
+            pending = set(items)
+            for x in pending:
+                pass
+            return [y for y in pending - set(done)]
+        """
+    )
+    assert rule_ids(findings) == ["SIM003", "SIM003"]
+
+
+def test_sim003_flags_attribute_annotated_as_set(lint_snippet):
+    findings = lint_snippet(
+        """
+        from typing import Set
+
+        class State:
+            def __init__(self):
+                self.active: Set[int] = set()
+
+        def pick(state):
+            return [w for w in state.active]
+        """
+    )
+    assert rule_ids(findings) == ["SIM003"]
+
+
+def test_sim003_passes_sorted_lists_and_dicts(lint_snippet):
+    findings = lint_snippet(
+        """
+        def schedule(items, mapping):
+            for x in sorted(set(items)):
+                pass
+            for key in mapping:
+                pass
+            for value in mapping.values():
+                pass
+        """
+    )
+    assert findings == []
+
+
+def test_sim003_not_enforced_outside_simulated_layers(lint_snippet):
+    findings = lint_snippet(
+        """
+        def tabulate(items):
+            return [x for x in set(items)]
+        """,
+        layer="experiments",
+    )
+    assert findings == []
+
+
+# -- SIM004: float equality in billing modules ------------------------------
+
+
+def test_sim004_flags_float_comparisons(lint_snippet):
+    config = SimLintConfig(billing_modules=("billing/mod.py",))
+    findings = lint_snippet(
+        """
+        def price(cost, quanta):
+            if cost == 1.5:
+                return 0
+            if quanta / 10 != 3:
+                return 1
+        """,
+        layer="billing",
+        config=config,
+    )
+    assert rule_ids(findings) == ["SIM004", "SIM004"]
+
+
+def test_sim004_flags_float_identifier_vs_int_literal(lint_snippet):
+    config = SimLintConfig(billing_modules=("billing/mod.py",))
+    findings = lint_snippet(
+        """
+        def fmt(value):
+            if value == 0:
+                return "0"
+        """,
+        layer="billing",
+        config=config,
+    )
+    assert rule_ids(findings) == ["SIM004"]
+
+
+def test_sim004_passes_integral_comparisons_and_other_modules(lint_snippet):
+    config = SimLintConfig(billing_modules=("billing/mod.py",))
+    assert (
+        lint_snippet(
+            """
+            def check(xs, ys, n):
+                if len(xs) != len(ys):
+                    raise ValueError
+                return n == 0
+            """,
+            layer="billing",
+            config=config,
+        )
+        == []
+    )
+    # same float comparison outside the billing scope: not this rule's business
+    assert (
+        lint_snippet(
+            """
+            def near(cost):
+                return cost == 1.5
+            """,
+            layer="experiments",
+            config=config,
+        )
+        == []
+    )
+
+
+# -- SIM005: host I/O / environment ------------------------------------------
+
+
+def test_sim005_flags_io_and_environment(lint_snippet):
+    findings = lint_snippet(
+        """
+        import os
+
+        def load(path):
+            print("loading")
+            data = open(path).read()
+            return data, os.environ["HOME"], os.getenv("SEED")
+        """
+    )
+    assert rule_ids(findings) == ["SIM005", "SIM005", "SIM005", "SIM005"]
+
+
+def test_sim005_passes_cli_layer(lint_snippet):
+    findings = lint_snippet(
+        """
+        import os
+
+        def report(path):
+            print("done")
+            return open(path).read(), os.getenv("SEED")
+        """,
+        layer="experiments",
+    )
+    assert findings == []
+
+
+# -- SIM006: heap tie-breaker -----------------------------------------------
+
+
+def test_sim006_flags_push_without_tiebreaker(lint_snippet):
+    findings = lint_snippet(
+        """
+        import heapq
+
+        def schedule(queue, when, event):
+            heapq.heappush(queue, (when, event))
+            heapq.heappush(queue, event)
+        """
+    )
+    assert rule_ids(findings) == ["SIM006", "SIM006"]
+
+
+def test_sim006_passes_time_seq_event_tuple(lint_snippet):
+    findings = lint_snippet(
+        """
+        import heapq
+        from heapq import heappush
+
+        def schedule(queue, now, seq, event):
+            heapq.heappush(queue, (now, seq, event))
+            heappush(queue, (now + 1.0, seq + 1, event))
+        """
+    )
+    assert findings == []
+
+
+# -- suppression comments -----------------------------------------------------
+
+
+def test_line_suppression_disables_one_rule(lint_snippet):
+    findings = lint_snippet(
+        """
+        import time
+
+        def latency():
+            return time.time()  # sim-lint: disable=SIM001 — calibration shim
+        """
+    )
+    assert findings == []
+
+
+def test_line_suppression_is_rule_specific(lint_snippet):
+    findings = lint_snippet(
+        """
+        import time
+
+        def latency():
+            return time.time()  # sim-lint: disable=SIM002
+        """
+    )
+    assert rule_ids(findings) == ["SIM001"]
+
+
+def test_line_suppression_all(lint_snippet):
+    findings = lint_snippet(
+        """
+        import time
+
+        def latency():
+            return time.time()  # sim-lint: disable=all
+        """
+    )
+    assert findings == []
+
+
+# -- degenerate input ---------------------------------------------------------
+
+
+def test_syntax_error_becomes_sim000(lint_snippet):
+    findings = lint_snippet("def broken(:\n    pass\n")
+    assert rule_ids(findings) == ["SIM000"]
+    assert "does not parse" in findings[0].message

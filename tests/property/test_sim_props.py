@@ -72,6 +72,40 @@ def test_nested_processes_conserve_time(outer, inner):
     assert p.value == max(inner)
 
 
+# Drawn from a tiny value set so Hypothesis reliably generates timestamp
+# collisions — the case the heap's (time, seq, event) tie-breaker (SIM006)
+# exists for.
+colliding_delays = st.lists(
+    st.sampled_from([0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0]),
+    min_size=2, max_size=40,
+)
+
+
+@given(colliding_delays)
+def test_same_timestamp_events_pop_in_scheduling_order(delay_list):
+    """Among events sharing a timestamp, firing order == scheduling order.
+
+    This is the determinism contract behind the kernel's (time, seq,
+    event) heap entries: heapq alone would compare payloads on time ties.
+    """
+    env = Environment()
+    fired = []
+
+    def proc(tag, d):
+        yield env.timeout(d)
+        fired.append((env.now, tag))
+
+    for tag, d in enumerate(delay_list):
+        env.process(proc(tag, d))
+    env.run()
+    assert len(fired) == len(delay_list)
+    # stable sort of the schedule by time = expected (time, tag) sequence
+    expected = sorted(
+        ((d, tag) for tag, d in enumerate(delay_list)), key=lambda p: p[0]
+    )
+    assert fired == expected
+
+
 # ------------------------------------------------------------------- EWMA
 values_lists = st.lists(
     st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),

@@ -37,6 +37,15 @@ def test_pick_victim_highest_loss():
     assert _pick_victim(state) == 1
 
 
+def test_pick_victim_breaks_loss_ties_by_lowest_worker_id():
+    # Regression for the SIM003 audit fix: candidates come from the
+    # `active` set, and with tied losses the winner used to depend on
+    # set-hash iteration order; sorting pins it to the lowest id.
+    state = SupervisorState(make_runtime())
+    state.last_loss = {0: 0.9, 1: 0.9, 2: 0.9, 3: 0.5}
+    assert _pick_victim(state) == 0
+
+
 def test_pick_victim_only_active_workers():
     state = SupervisorState(make_runtime())
     state.last_loss = {0: 0.5, 1: 0.9, 2: 0.7, 3: 0.6}
