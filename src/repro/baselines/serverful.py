@@ -29,6 +29,7 @@ from ..core.history import RunResult
 from ..ml.data.dataset import Dataset
 from ..ml.models.base import Model
 from ..ml.optim.base import Optimizer
+from ..ml.parameters import ModelUpdate
 from ..pricing import CostMeter, PRICING
 from ..sim import Environment, Monitor, RandomStreams
 from ..storage import ObjectStore
@@ -165,12 +166,14 @@ class ServerfulTrainer:
             yield self.env.timeout(slowest)
 
             losses: List[float] = []
-            grad_sum = None
+            grads = []
             for b in batches:
                 loss, grad = config.model.gradient(params, b)
                 losses.append(loss)
-                grad_sum = grad if grad_sum is None else grad_sum.merge(grad)
-            avg_grad = grad_sum.scale(1.0 / config.n_ranks)
+                grads.append(grad)
+            # n-way merge: bit-identical to the pairwise fold (both sum
+            # each index's contributions in rank order from zero).
+            avg_grad = ModelUpdate.merge_many(grads).scale(1.0 / config.n_ranks)
 
             # Gradient all-reduce over the full dense tensors (what a dense
             # framework moves), with ranks sharing each VM's NIC.

@@ -1,0 +1,33 @@
+"""Hot-path microbenchmark suite (``python -m repro.bench``).
+
+Times the sparse kernels, n-way merges, checkpoint snapshots, DES event
+churn and one end-to-end quickstart job; writes ``BENCH_<name>.json``
+with p50/p95 wall-nanoseconds **and output checksums**, so recorded
+speedups are tied to bit-identical results.  ``--compare`` diffs two
+result files and gates the kernel/merge groups on a minimum speedup.
+
+See DESIGN.md "Hot-path performance" for what is cached where and why
+the caches cannot go stale.
+"""
+
+from .ops import ALL_OPS
+from .runner import (
+    GATED_GROUPS,
+    BenchOp,
+    CompareResult,
+    checksum_bytes,
+    compare,
+    run_suite,
+    write_results,
+)
+
+__all__ = [
+    "ALL_OPS",
+    "GATED_GROUPS",
+    "BenchOp",
+    "CompareResult",
+    "checksum_bytes",
+    "compare",
+    "run_suite",
+    "write_results",
+]

@@ -1,0 +1,134 @@
+"""Command-line interface for the microbenchmark suite.
+
+Run the suite and write ``BENCH_<name>.json``::
+
+    python -m repro.bench --name baseline
+    python -m repro.bench --quick --name ci --out artifacts/
+
+Diff two result files (checksum equality + minimum-speedup gate on the
+kernel/merge groups)::
+
+    python -m repro.bench --compare BENCH_baseline.json BENCH_optimized.json
+    python -m repro.bench --compare BENCH_baseline.json BENCH_ci.json \
+        --min-speedup 0 --portable-only     # cross-machine CI mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .ops import ALL_OPS
+from .runner import GATED_GROUPS, compare, run_suite, write_results
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Hot-path microbenchmarks with checksummed outputs.",
+    )
+    parser.add_argument(
+        "--name", default="local", help="result name: writes BENCH_<name>.json"
+    )
+    parser.add_argument("--out", default=".", help="output directory (default: .)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions, identical workload sizes (checksums comparable)",
+    )
+    parser.add_argument(
+        "--ops", default=None, help="comma-separated op names to run (default: all)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_ops", help="list ops and exit"
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "NEW"),
+        help="diff two BENCH_*.json files instead of running the suite",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="gate: required p50 speedup for kernel/merge ops (0 disables; default 2.0)",
+    )
+    parser.add_argument(
+        "--portable-only",
+        action="store_true",
+        help="compare: only enforce checksums marked portable (cross-machine runs)",
+    )
+    return parser
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    baseline_path, new_path = args.compare
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(new_path) as handle:
+        new = json.load(handle)
+    result = compare(
+        baseline,
+        new,
+        min_speedup=args.min_speedup,
+        gated_groups=GATED_GROUPS,
+        portable_only=args.portable_only,
+    )
+    print(f"compare: {baseline['name']} -> {new['name']}")
+    for line in result.lines:
+        print(f"  {line}")
+    if result.ok:
+        gated = [
+            s for op, (_, _, s) in result.speedups.items()
+            if any(op.startswith(f"{g}.") for g in GATED_GROUPS)
+        ]
+        if gated and args.min_speedup > 0:
+            print(
+                f"PASS: all gated ops >= {args.min_speedup}x "
+                f"(min observed {min(gated):.2f}x), checksums intact"
+            )
+        else:
+            print("PASS: checksums intact")
+        return 0
+    print("FAIL: see lines above")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_ops:
+        for op in ALL_OPS:
+            suffix = f" — {op.note}" if op.note else ""
+            print(f"{op.name}  [{op.group}]{suffix}")
+        return 0
+    if args.compare:
+        return _run_compare(args)
+    only = args.ops.split(",") if args.ops else None
+    try:
+        doc = run_suite(
+            ALL_OPS,
+            name=args.name,
+            quick=args.quick,
+            only=only,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = write_results(doc, args.out)
+    for entry in doc["ops"]:
+        print(
+            f"  {entry['p50_ns'] / 1e6:10.3f} ms p50  "
+            f"{entry['p95_ns'] / 1e6:10.3f} ms p95  {entry['op']}"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""The registered microbenchmark ops.
+
+Groups (see :data:`repro.bench.runner.GATED_GROUPS` for which are held
+to the compare gate's minimum speedup):
+
+``kernel``
+    The per-step sparse kernels: ``matvec``, ``rmatvec_on_support``,
+    ``row_slice``.  These dominate a worker's compute (the reason the
+    paper rewrote them in Cython).
+``merge``
+    N-way update merging: ``SparseDelta.merge_many`` (worker step-6 peer
+    sum) and ``ModelUpdate.merge_many`` (supervisor aggregation).
+``scatter``
+    Sparse-into-dense scatter-add variants.  Informational: on current
+    NumPy the ``np.add.at`` fast path *beats* a fancy-index ``+=``, and
+    this group is where a future NumPy flipping that again would show.
+``core``
+    Training-state operations: fused peer application, checkpoint
+    snapshot.
+``sim``
+    DES event churn (host-side cost of every simulated second).
+``e2e``
+    One small end-to-end MLLess job (the determinism oracle's default
+    run); its checksum is the monitor trace digest, so a hot-path
+    regression that changes convergence is caught right here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..ml.parameters import ModelUpdate, ParameterSet
+from ..ml.sparse import SparseDelta
+from . import workloads
+from .runner import BenchOp, checksum_bytes
+
+__all__ = ["ALL_OPS"]
+
+
+# -- checksum helpers -----------------------------------------------------
+def _array(arr: np.ndarray) -> str:
+    return checksum_bytes(np.ascontiguousarray(arr).tobytes())
+
+
+def _delta(delta: SparseDelta) -> str:
+    return checksum_bytes(
+        np.ascontiguousarray(delta.indices).tobytes(),
+        np.ascontiguousarray(delta.values).tobytes(),
+        repr(delta.shape).encode(),
+    )
+
+
+def _csr(matrix) -> str:
+    return checksum_bytes(
+        np.ascontiguousarray(matrix.indptr).tobytes(),
+        np.ascontiguousarray(matrix.indices).tobytes(),
+        np.ascontiguousarray(matrix.data).tobytes(),
+        repr(matrix.shape).encode(),
+    )
+
+
+def _update(update: ModelUpdate) -> str:
+    chunks: List[bytes] = []
+    for name, delta in update:
+        chunks.append(name.encode())
+        chunks.append(np.ascontiguousarray(delta.indices).tobytes())
+        chunks.append(np.ascontiguousarray(delta.values).tobytes())
+    return checksum_bytes(*chunks)
+
+
+def _params(params: ParameterSet) -> str:
+    chunks: List[bytes] = []
+    for name, tensor in params:
+        chunks.append(name.encode())
+        chunks.append(np.ascontiguousarray(tensor).tobytes())
+    return checksum_bytes(*chunks)
+
+
+def _checkpoint(ckpt) -> str:
+    chunks: List[bytes] = [
+        repr((ckpt.worker_id, ckpt.step, ckpt.active_workers)).encode()
+    ]
+    for name, tensor in ckpt.params:
+        chunks.append(name.encode())
+        chunks.append(np.ascontiguousarray(tensor).tobytes())
+    for slot in sorted(getattr(ckpt.optimizer, "_state", {})):
+        for name in sorted(ckpt.optimizer._state[slot]):
+            chunks.append(f"{slot}/{name}".encode())
+            chunks.append(
+                np.ascontiguousarray(ckpt.optimizer._state[slot][name]).tobytes()
+            )
+    for name in sorted(ckpt.sig_filter._acc):
+        chunks.append(name.encode())
+        chunks.append(np.ascontiguousarray(ckpt.sig_filter._acc[name]).tobytes())
+    return checksum_bytes(*chunks)
+
+
+# -- op run functions -----------------------------------------------------
+def _run_churn(_state, _payload):
+    from ..sim import Environment
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env = Environment()
+    for _ in range(50):
+        env.process(ticker(env, 400))
+    env.run()
+    return (env.now, 50 * 400)
+
+
+def _run_e2e(_state, _payload):
+    from ..analysis.determinism import default_run
+
+    return default_run(0)
+
+
+def _build_ops() -> List[BenchOp]:
+    ops = [
+        BenchOp(
+            name="kernel.matvec",
+            group="kernel",
+            make_state=workloads.lr_batch,
+            run=lambda s, _p: s[0].matvec(s[1]),
+            checksum=_array,
+        ),
+        BenchOp(
+            name="kernel.rmatvec_on_support",
+            group="kernel",
+            make_state=workloads.lr_batch,
+            run=lambda s, _p: s[0].rmatvec_on_support(s[2]),
+            checksum=_delta,
+        ),
+        BenchOp(
+            name="kernel.row_slice",
+            group="kernel",
+            make_state=workloads.lr_batch,
+            run=lambda s, _p: s[0].row_slice(1_000, 3_000),
+            checksum=_csr,
+        ),
+        BenchOp(
+            name="merge.delta_merge_many_16",
+            group="merge",
+            make_state=workloads.sparse_deltas,
+            run=lambda s, _p: SparseDelta.merge_many(s),
+            checksum=_delta,
+        ),
+        BenchOp(
+            name="merge.update_merge_many_8",
+            group="merge",
+            make_state=workloads.model_updates,
+            run=lambda s, _p: ModelUpdate.merge_many(s),
+            checksum=_update,
+        ),
+        BenchOp(
+            name="scatter.apply_to",
+            group="scatter",
+            make_state=workloads.scatter_state,
+            prepare=lambda s: s[1].copy(),
+            run=lambda s, dense: (s[0].apply_to(dense), dense)[1],
+            checksum=_array,
+            note="np.add.at path (the production scatter)",
+        ),
+        BenchOp(
+            name="core.peer_apply_8",
+            group="core",
+            make_state=workloads.peer_state,
+            prepare=lambda s: s[0].copy(),
+            run=lambda s, params: (params.apply_many(s[1]), params)[1],
+            checksum=_params,
+        ),
+        BenchOp(
+            name="core.checkpoint_snapshot",
+            group="core",
+            make_state=workloads.warmed_checkpoint,
+            run=lambda s, _p: s.snapshot(),
+            checksum=_checkpoint,
+        ),
+        BenchOp(
+            name="sim.timeout_churn_20k",
+            group="sim",
+            make_state=lambda: None,
+            run=_run_churn,
+            checksum=lambda out: checksum_bytes(repr(out).encode()),
+        ),
+        BenchOp(
+            name="e2e.quickstart_pmf",
+            group="e2e",
+            make_state=lambda: None,
+            run=_run_e2e,
+            checksum=lambda monitor: monitor.trace_digest(),
+            portable=False,
+            note="checksum is the monitor trace digest (SIMD-dependent)",
+        ),
+    ]
+    if hasattr(SparseDelta, "_apply_fancy"):
+        ops.insert(
+            6,
+            BenchOp(
+                name="scatter.apply_fancy",
+                group="scatter",
+                make_state=workloads.scatter_state,
+                prepare=lambda s: s[1].copy(),
+                run=lambda s, dense: (s[0]._apply_fancy(dense), dense)[1],
+                checksum=_array,
+                note="fancy-index += variant (valid for sorted-unique deltas)",
+            ),
+        )
+    return ops
+
+
+ALL_OPS: List[BenchOp] = _build_ops()

@@ -1,0 +1,231 @@
+"""Microbenchmark runner: time registered ops, checksum their outputs.
+
+Methodology
+-----------
+
+Each :class:`BenchOp` builds its workload once (``make_state``), runs a
+few untimed warmup repetitions, then times ``reps`` calls of ``run``
+with ``time.perf_counter_ns``.  Ops that mutate their input get a fresh
+per-rep payload from ``prepare`` *outside* the timed region, so the
+numbers measure the kernel, not the copy.  The report records p50/p95
+wall-nanoseconds **and a sha256 checksum of the final output**, so an
+"optimization" that changes results cannot silently pass — the compare
+mode refuses speedups whose checksums drifted.
+
+``portable`` marks ops whose checksum is expected to be bit-stable
+across machines (integer manipulation, sequential float accumulation).
+Ops built on SIMD-reassociated reductions (the end-to-end run's einsum)
+are non-portable: their checksum is only comparable on one machine, and
+``compare(..., portable_only=True)`` skips them (what CI does when
+checking a runner's output against the committed baseline).
+
+Results are written as ``BENCH_<name>.json``; ``compare`` diffs two such
+documents and enforces the checksum and minimum-speedup gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BenchOp",
+    "CompareResult",
+    "checksum_bytes",
+    "compare",
+    "run_suite",
+    "write_results",
+]
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: (reps, warmup) per group for full runs; --quick cuts reps, never sizes
+_FULL_REPS = {
+    "kernel": (30, 3),
+    "merge": (30, 3),
+    "scatter": (30, 3),
+    "core": (20, 2),
+    "sim": (10, 1),
+    "e2e": (2, 1),
+}
+_QUICK_REPS = {
+    "kernel": (5, 1),
+    "merge": (5, 1),
+    "scatter": (5, 1),
+    "core": (5, 1),
+    "sim": (3, 1),
+    "e2e": (1, 0),
+}
+
+#: groups the compare gate holds to the minimum speedup (the tentpole's
+#: measurable promise); the rest are tracked informationally
+GATED_GROUPS = ("kernel", "merge")
+
+
+@dataclass(frozen=True)
+class BenchOp:
+    """One registered microbenchmark.
+
+    ``run(state, payload)`` is the timed region; ``prepare(state)`` (when
+    set) produces a fresh ``payload`` before every rep, untimed — use it
+    for ops that mutate their input.  ``checksum(output)`` hashes the
+    final rep's return value.
+    """
+
+    name: str
+    group: str
+    make_state: Callable[[], Any]
+    run: Callable[[Any, Any], Any]
+    checksum: Callable[[Any], str]
+    prepare: Optional[Callable[[Any], Any]] = None
+    portable: bool = True
+    note: str = ""
+
+
+def checksum_bytes(*chunks: bytes) -> str:
+    """sha256 over a sequence of byte chunks (length-prefixed)."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(len(chunk).to_bytes(8, "little"))
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _percentile_ns(samples: Sequence[int], q: float) -> int:
+    return int(np.percentile(np.asarray(samples, dtype=np.int64), q))
+
+
+def _time_op(op: BenchOp, reps: int, warmup: int) -> Dict[str, Any]:
+    state = op.make_state()
+    for _ in range(warmup):
+        payload = op.prepare(state) if op.prepare else None
+        op.run(state, payload)
+    samples: List[int] = []
+    output: Any = None
+    for _ in range(reps):
+        payload = op.prepare(state) if op.prepare else None
+        start = time.perf_counter_ns()
+        output = op.run(state, payload)
+        samples.append(time.perf_counter_ns() - start)
+    entry = {
+        "op": op.name,
+        "group": op.group,
+        "reps": reps,
+        "p50_ns": _percentile_ns(samples, 50),
+        "p95_ns": _percentile_ns(samples, 95),
+        "checksum": op.checksum(output),
+        "portable_checksum": op.portable,
+    }
+    if op.note:
+        entry["note"] = op.note
+    return entry
+
+
+def run_suite(
+    ops: Sequence[BenchOp],
+    name: str,
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run ``ops`` (optionally filtered to ``only``) into a result doc."""
+    selected = [op for op in ops if only is None or op.name in only]
+    if only is not None:
+        known = {op.name for op in ops}
+        missing = [n for n in only if n not in known]
+        if missing:
+            raise ValueError(f"unknown ops: {', '.join(missing)}")
+    reps_table = _QUICK_REPS if quick else _FULL_REPS
+    results = []
+    for op in selected:
+        if progress:
+            progress(f"  {op.name} ...")
+        reps, warmup = reps_table.get(op.group, (10, 1))
+        results.append(_time_op(op, reps, warmup))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "ops": results,
+    }
+
+
+def write_results(doc: Dict[str, Any], out_dir: str) -> str:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+    import os
+
+    path = os.path.join(out_dir, f"BENCH_{doc['name']}.json")
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@dataclass
+class CompareResult:
+    """Outcome of diffing two benchmark documents."""
+
+    ok: bool
+    lines: List[str] = field(default_factory=list)
+    #: op -> (baseline_p50_ns, new_p50_ns, speedup)
+    speedups: Dict[str, Tuple[int, int, float]] = field(default_factory=dict)
+
+
+def compare(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    min_speedup: float = 0.0,
+    gated_groups: Sequence[str] = GATED_GROUPS,
+    portable_only: bool = False,
+) -> CompareResult:
+    """Diff two result documents: checksums must match, gates must hold.
+
+    Checksum equality is enforced for every op present in both documents
+    (restricted to portable ops when ``portable_only`` — the
+    cross-machine CI mode).  When ``min_speedup`` > 0, every op in a
+    gated group must be at least that much faster (p50) in ``new``.
+    """
+    result = CompareResult(ok=True)
+    base_ops = {entry["op"]: entry for entry in baseline["ops"]}
+    new_ops = {entry["op"]: entry for entry in new["ops"]}
+    for op_name, base in base_ops.items():
+        entry = new_ops.get(op_name)
+        if entry is None:
+            result.lines.append(f"warn: {op_name}: missing from new results")
+            continue
+        both_portable = base["portable_checksum"] and entry["portable_checksum"]
+        if portable_only and not both_portable:
+            result.lines.append(f"skip: {op_name}: non-portable checksum")
+        elif base["checksum"] != entry["checksum"]:
+            result.ok = False
+            result.lines.append(
+                f"FAIL: {op_name}: checksum drift "
+                f"({base['checksum'][:12]}… -> {entry['checksum'][:12]}…) — "
+                "the optimization changed numeric results"
+            )
+        speedup = base["p50_ns"] / max(entry["p50_ns"], 1)
+        result.speedups[op_name] = (base["p50_ns"], entry["p50_ns"], speedup)
+        gated = entry["group"] in gated_groups and min_speedup > 0
+        verdict = f"{speedup:6.2f}x  {op_name} ({entry['group']})"
+        if gated and speedup < min_speedup:
+            result.ok = False
+            result.lines.append(f"FAIL: {verdict} — below required {min_speedup}x")
+        else:
+            result.lines.append(f"ok:   {verdict}")
+    for op_name in new_ops:
+        if op_name not in base_ops:
+            result.lines.append(f"note: {op_name}: new op (no baseline)")
+    return result

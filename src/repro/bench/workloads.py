@@ -1,0 +1,145 @@
+"""Seeded workload builders for the microbenchmark suite.
+
+Every builder takes an explicit seed and constructs its inputs through a
+local ``np.random.default_rng`` (allowlisted for SIM002 in pyproject:
+benchmarks are host-side tooling, not simulated components, but they
+still must be reproducible so the committed ``BENCH_*.json`` checksums
+mean something).  Sizes are fixed constants — ``--quick`` reduces
+repetitions, never shapes — so checksums from quick and full runs are
+directly comparable.
+
+The shapes are picked to look like the paper's workloads: the CSR batch
+matches a sparse-LR Criteo-style slice (thousands of rows, a huge
+feature space, a few dozen features per row); the deltas and model
+updates match ISP-filtered PMF/LR broadcasts (a few thousand touched
+entries over a large tensor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.runtime import WorkerCheckpoint
+from ..core.significance import SignificanceFilter
+from ..ml.optim import InverseSqrtLR, MomentumSGD
+from ..ml.parameters import ModelUpdate, ParameterSet
+from ..ml.sparse import CSRMatrix, SparseDelta
+
+__all__ = [
+    "lr_batch",
+    "sparse_deltas",
+    "model_updates",
+    "peer_state",
+    "scatter_state",
+    "warmed_checkpoint",
+]
+
+#: sparse-LR batch: rows x cols with nnz_per_row stored entries each
+_BATCH_ROWS = 4_000
+_BATCH_COLS = 200_000
+_BATCH_NNZ_PER_ROW = 60
+
+#: ISP-style deltas: draws per delta over a flat tensor of _DELTA_SIZE
+_DELTA_COUNT = 16
+_DELTA_DRAWS = 9_000
+_DELTA_SIZE = 400_000
+
+#: two-tensor model updates (PMF-style U/M factors, flattened)
+_UPDATE_COUNT = 8
+_UPDATE_DRAWS = 5_000
+_TENSOR_SIZES = {"U": 50_000, "M": 40_000}
+
+
+def lr_batch(seed: int = 101) -> Tuple[CSRMatrix, np.ndarray, np.ndarray]:
+    """A sparse-LR minibatch: ``(X, w, r)`` for matvec / rmatvec kernels."""
+    rng = np.random.default_rng(seed)
+    nnz = _BATCH_ROWS * _BATCH_NNZ_PER_ROW
+    indptr = np.arange(_BATCH_ROWS + 1, dtype=np.int64) * _BATCH_NNZ_PER_ROW
+    indices = rng.integers(0, _BATCH_COLS, size=nnz).astype(np.int32)
+    data = rng.standard_normal(nnz)
+    matrix = CSRMatrix(indptr, indices, data, (_BATCH_ROWS, _BATCH_COLS))
+    w = rng.standard_normal(_BATCH_COLS)
+    r = rng.standard_normal(_BATCH_ROWS)
+    return matrix, w, r
+
+
+def _random_delta(rng: np.random.Generator, size: int, draws: int) -> SparseDelta:
+    """A delta with sorted-unique indices, like every kernel output."""
+    idx = np.unique(rng.integers(0, size, size=draws))
+    return SparseDelta(idx, rng.standard_normal(len(idx)), (size,))
+
+
+def sparse_deltas(seed: int = 202) -> List[SparseDelta]:
+    """K ISP-filtered peer deltas over the same flat tensor."""
+    rng = np.random.default_rng(seed)
+    return [
+        _random_delta(rng, _DELTA_SIZE, _DELTA_DRAWS) for _ in range(_DELTA_COUNT)
+    ]
+
+
+def model_updates(seed: int = 303) -> List[ModelUpdate]:
+    """K two-tensor model updates (what the supervisor aggregates)."""
+    rng = np.random.default_rng(seed)
+    return [
+        ModelUpdate(
+            {
+                name: _random_delta(rng, size, _UPDATE_DRAWS)
+                for name, size in _TENSOR_SIZES.items()
+            }
+        )
+        for _ in range(_UPDATE_COUNT)
+    ]
+
+
+def peer_state(seed: int = 404) -> Tuple[ParameterSet, List[ModelUpdate]]:
+    """A dense model plus the peer updates a worker applies at step 6."""
+    rng = np.random.default_rng(seed)
+    params = ParameterSet(
+        {name: rng.standard_normal(size) for name, size in _TENSOR_SIZES.items()}
+    )
+    return params, model_updates(seed + 1)
+
+
+def scatter_state(seed: int = 606) -> Tuple[SparseDelta, np.ndarray]:
+    """One delta plus the dense tensor it scatters into."""
+    rng = np.random.default_rng(seed)
+    delta = _random_delta(rng, _DELTA_SIZE, _DELTA_DRAWS)
+    dense = rng.standard_normal(_DELTA_SIZE)
+    return delta, dense
+
+
+def warmed_checkpoint(seed: int = 505) -> WorkerCheckpoint:
+    """A worker checkpoint with non-trivial optimizer and filter state.
+
+    The optimizer takes a few real steps so its momentum buffers exist
+    and the significance accumulators are non-zero — ``snapshot()`` must
+    copy all of it, exactly like mid-training checkpointing does.
+    """
+    rng = np.random.default_rng(seed)
+    shapes = {"U": (800, 8), "M": (600, 8)}
+    params = ParameterSet(
+        {name: 0.1 * rng.standard_normal(shape) for name, shape in shapes.items()}
+    )
+    optimizer = MomentumSGD(lr=InverseSqrtLR(0.5), momentum=0.9)
+    sig_filter = SignificanceFilter(v=0.5, shapes={n: params[n].shape for n in shapes})
+    for t in range(1, 4):
+        deltas = {}
+        for name in shapes:
+            idx = np.unique(rng.integers(0, params[name].size, size=800))
+            vals = 0.01 * rng.standard_normal(len(idx))
+            deltas[name] = SparseDelta(idx, vals, params[name].shape)
+        grad = ModelUpdate(deltas)
+        update = optimizer.step(params, grad, t)
+        params.apply(update)
+        sig_filter.step(params, update, t)
+    return WorkerCheckpoint(
+        worker_id=0,
+        step=3,
+        params=params,
+        optimizer=optimizer,
+        sig_filter=sig_filter,
+        active_workers=3,
+        last_report={"type": "step_done", "step": 3, "worker": 0},
+    )

@@ -17,6 +17,7 @@ worker be removed now?".  The algorithm follows the paper:
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from typing import List, Optional
@@ -94,6 +95,21 @@ class ScaleInScheduler:
         """The supervisor confirmed a worker left the pool."""
         self.current_workers -= 1
         self._last_removal_step = self._steps[-1] if self._steps else 0
+
+    def clone(self) -> "ScaleInScheduler":
+        """An independent copy (supervisor checkpoint snapshotting).
+
+        The config, knee detector and fitted curves are immutable /
+        stateless across calls and stay shared; the observation histories
+        and the EWMA register are copied.
+        """
+        dup = copy.copy(self)
+        dup._ewma = copy.copy(self._ewma)
+        dup._steps = list(self._steps)
+        dup._times = list(self._times)
+        dup._smoothed = list(self._smoothed)
+        dup.decisions = list(self.decisions)
+        return dup
 
     # -- internals -------------------------------------------------------
     def _record(self, decision: SchedulerDecision) -> SchedulerDecision:

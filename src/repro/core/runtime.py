@@ -13,6 +13,7 @@ scheme for the supervisor).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -101,6 +102,41 @@ class WorkerCheckpoint:
         #: the original was lost in the queue); excluded from nbytes — it
         #: is a tiny control dict next to the dense tensors
         self.last_report = last_report
+
+    def snapshot(self) -> "WorkerCheckpoint":
+        """An independent copy safe to hand to the KV store.
+
+        Equivalent to ``copy.deepcopy(self)`` — later mutations of the
+        live state (or of the stored copy) must never alias each other —
+        but copies only the NumPy buffers and small containers instead of
+        walking the whole object graph: parameters via
+        :meth:`ParameterSet.copy`, optimizer state via
+        :meth:`Optimizer.clone`, filter accumulators via
+        :meth:`SignificanceFilter.clone` (components without a
+        ``clone`` fall back to ``deepcopy``).
+        """
+        optimizer = (
+            self.optimizer.clone()
+            if hasattr(self.optimizer, "clone")
+            else copy.deepcopy(self.optimizer)
+        )
+        sig_filter = (
+            self.sig_filter.clone()
+            if hasattr(self.sig_filter, "clone")
+            else copy.deepcopy(self.sig_filter)
+        )
+        return WorkerCheckpoint(
+            worker_id=self.worker_id,
+            step=self.step,
+            params=self.params.copy(),
+            optimizer=optimizer,
+            sig_filter=sig_filter,
+            pending_replica=self.pending_replica,
+            active_workers=self.active_workers,
+            last_report=dict(self.last_report)
+            if self.last_report is not None
+            else None,
+        )
 
     @property
     def nbytes(self) -> int:

@@ -15,6 +15,7 @@ tests rely on this.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Dict
 
@@ -53,6 +54,17 @@ class SignificanceFilter:
     def accumulated(self) -> Dict[str, np.ndarray]:
         """Read-only view of the residual accumulators (for tests)."""
         return {n: a.copy() for n, a in self._acc.items()}
+
+    def clone(self) -> "SignificanceFilter":
+        """An independent copy with fresh accumulator buffers.
+
+        All mutable state lives in ``_acc`` (subclasses only add scalar
+        configuration); used by checkpoint snapshotting instead of
+        ``copy.deepcopy``.
+        """
+        dup = copy.copy(self)
+        dup._acc = {name: acc.copy() for name, acc in self._acc.items()}
+        return dup
 
     def residual_update(self) -> ModelUpdate:
         """The entire accumulated residual as one sparse update.

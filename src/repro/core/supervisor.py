@@ -57,6 +57,23 @@ class SupervisorState:
         #: barrier timeouts seen while waiting on the current step
         self.resyncs_this_step = 0
 
+    def snapshot(self) -> "SupervisorState":
+        """An independent copy safe to hand to the KV store.
+
+        Replaces ``copy.deepcopy``: the containers are copied one level
+        deep and the scheduler via :meth:`ScaleInScheduler.clone`.  The
+        report/release *message dicts* stay shared — they are immutable
+        by convention (published messages are never mutated in place).
+        """
+        dup = copy.copy(self)
+        dup.active = set(self.active)
+        dup.reports = {step: dict(by_worker) for step, by_worker in self.reports.items()}
+        dup.last_loss = dict(self.last_loss)
+        dup.scheduler = self.scheduler.clone()
+        dup.gc_backlog = {step: list(keys) for step, keys in self.gc_backlog.items()}
+        dup.releases = dict(self.releases)
+        return dup
+
     @property
     def nbytes(self) -> int:
         """Checkpoint wire size: histories dominate (~24 B per step)."""
@@ -82,9 +99,9 @@ def supervisor_handler(
                 state.job_started_at = ctx.now
                 runtime.note_recovery("supervisor_fresh_restart")
             else:
-                # Deep-copy so this activation's mutations never alias the
+                # Snapshot so this activation's mutations never alias the
                 # checkpointed object still sitting in the KV store.
-                state = copy.deepcopy(stored)
+                state = stored.snapshot()
                 runtime.note_recovery("supervisor_resumed")
         else:
             state = yield from runtime.kv.get(
@@ -124,7 +141,7 @@ def supervisor_handler(
             }
 
         if ctx.remaining_time(started) < config.relaunch_margin_s:
-            snapshot = copy.deepcopy(state) if config.ft_enabled else state
+            snapshot = state.snapshot() if config.ft_enabled else state
             yield from runtime.kv.set(runtime.supervisor_checkpoint_key, snapshot)
             return {"outcome": "relaunch"}
 
@@ -242,7 +259,7 @@ def _maybe_release_barrier(
     if ckpt_every and step % ckpt_every == 0:
         try:
             yield from runtime.kv.set(
-                runtime.supervisor_checkpoint_key, copy.deepcopy(state)
+                runtime.supervisor_checkpoint_key, state.snapshot()
             )
         except StorageError:
             # A lost checkpoint is survivable (we resume one barrier

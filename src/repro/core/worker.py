@@ -22,7 +22,6 @@ checkpoint.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Generator
 
 import numpy as np
@@ -78,9 +77,9 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
                 state = _fresh_checkpoint(runtime, worker_id)
                 runtime.note_recovery("worker_fresh_restart")
             else:
-                # Deep-copy so this activation's mutations never alias the
+                # Snapshot so this activation's mutations never alias the
                 # checkpointed object still sitting in the KV store.
-                state = copy.deepcopy(stored)
+                state = stored.snapshot()
                 runtime.note_recovery("worker_resumed")
         else:
             state = yield from runtime.kv.get(
@@ -141,11 +140,18 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
                     f"worker {worker_id}: barrier for step {release['step']} "
                     f"while at step {t}"
                 )
+        peer_updates = []
         for peer in release["senders"]:
             if peer == worker_id:
                 continue
-            peer_update = yield from runtime.kv.get(runtime.update_key(t, peer))
-            state.params.apply(peer_update)
+            peer_updates.append(
+                (yield from runtime.kv.get(runtime.update_key(t, peer)))
+            )
+        # Fused scatter, bit-identical to applying one update at a time in
+        # sender order (see ParameterSet.apply_many).  Peers must NOT be
+        # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
+        # floats, and the convergence traces are checked bit-exactly.
+        state.params.apply_many(peer_updates)
 
         state.step = t
         state.active_workers = release["active"]
@@ -161,7 +167,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
             return {"worker": worker_id, "steps": t, "outcome": "converged"}
 
         # FT: periodic barrier checkpoint so a crashed activation resumes
-        # from the last completed step instead of from scratch.  Deep-copy:
+        # from the last completed step instead of from scratch.  Snapshot:
         # the KV store holds objects by reference, and the live replica
         # keeps mutating after the write.
         checkpointed = False
@@ -169,7 +175,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
         if ckpt_every and t % ckpt_every == 0:
             try:
                 yield from runtime.kv.set(
-                    runtime.checkpoint_key(worker_id), copy.deepcopy(state)
+                    runtime.checkpoint_key(worker_id), state.snapshot()
                 )
                 checkpointed = True
             except StorageError:

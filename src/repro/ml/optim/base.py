@@ -10,6 +10,7 @@ variants serverless workers must use to stay within memory and CPU limits.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Dict
 
@@ -60,6 +61,22 @@ class Optimizer(ABC):
         t: int,
     ) -> SparseDelta:
         """Per-tensor sparse update from a sparse gradient."""
+
+    def clone(self) -> "Optimizer":
+        """An independent copy: fresh state buffers, shared schedule.
+
+        Schedules are frozen dataclasses, so sharing them is safe; every
+        optimizer in this package keeps its mutable state exclusively in
+        ``_state`` (the contract of :meth:`_buffer`).  A subclass that
+        adds mutable attributes outside ``_state`` must override this.
+        Used by checkpoint snapshotting instead of ``copy.deepcopy``.
+        """
+        dup = copy.copy(self)
+        dup._state = {
+            slot: {name: buf.copy() for name, buf in per_slot.items()}
+            for slot, per_slot in self._state.items()
+        }
+        return dup
 
     def reset(self) -> None:
         """Drop all state (fresh training run)."""

@@ -14,11 +14,26 @@ the two structures everything else uses:
     A flat-indexed sparse increment over one parameter tensor — the wire
     format of MLLess model updates.  Supports accumulation, scaling and
     in-place application to a dense array, and knows its wire size.
+
+Hot-path contracts (see DESIGN.md "Hot-path performance"):
+
+* ``CSRMatrix`` instances are **immutable once constructed** — batches are
+  staged once and re-read every epoch — so per-matrix derived state
+  (``matvec`` row ids, ``rmatvec_on_support`` column support, the SciPy
+  matvec handle) is computed once and cached on the instance.
+* ``SparseDelta`` indices produced by this module (and by every gradient
+  / filter path in the repo) are **sorted and duplicate-free**; the
+  constructor verifies cheap invariants and the sortedness flag is
+  tracked so kernels can rely on it.
+* Every fast path below is bit-identical to the naive formulation it
+  replaces — property tests in ``tests/property`` enforce this, and the
+  SciPy matvec handle self-verifies against the numpy kernel on first
+  use, falling back if the platform's BLAS-free CSR loop ever disagrees.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +45,15 @@ _VALUE_BYTES = 8
 
 
 class CSRMatrix:
-    """Compressed sparse row matrix (float64 values, int32 indices)."""
+    """Compressed sparse row matrix (float64 values, int32 indices).
+
+    Instances are immutable: the index/data arrays must not be written to
+    after construction, which is what makes the per-instance kernel
+    caches (``_row_ids``, ``_support``, ``_spmv``) safe — there is no
+    cache-invalidation story because there is nothing to invalidate.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids", "_support", "_spmv")
 
     def __init__(
         self,
@@ -43,7 +66,36 @@ class CSRMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._row_ids: Optional[np.ndarray] = None
+        self._support: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: SciPy CSR handle: None = not built yet, False = unavailable or
+        #: failed the bit-identity self-check, else the scipy.sparse matrix
+        self._spmv = None
         self._validate()
+
+    @classmethod
+    def _trusted(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CSRMatrix":
+        """Internal constructor for arrays already known to be valid.
+
+        Skips the O(nnz) ``_validate`` scan; callers guarantee the CSR
+        invariants hold (e.g. :meth:`row_slice` of an already-validated
+        matrix).  Dtypes must already match the public constructor's.
+        """
+        obj = cls.__new__(cls)
+        obj.indptr = indptr
+        obj.indices = indices
+        obj.data = data
+        obj.shape = (int(shape[0]), int(shape[1]))
+        obj._row_ids = None
+        obj._support = None
+        obj._spmv = None
+        return obj
 
     def _validate(self) -> None:
         rows, cols = self.shape
@@ -116,6 +168,29 @@ class CSRMatrix:
         total = rows * cols
         return self.nnz / total if total else 0.0
 
+    # -- cached derived state ---------------------------------------------
+    def _cached_row_ids(self) -> np.ndarray:
+        """Row id of every stored entry (compute-once per matrix)."""
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.shape[0]), np.diff(self.indptr)
+            )
+        return self._row_ids
+
+    def _cached_support(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(cols, inverse, row_nnz)`` of the column support (compute-once).
+
+        ``cols`` is int64, sorted-unique and frozen (read-only) so it can
+        be shared with the :class:`SparseDelta` results of
+        :meth:`rmatvec_on_support` without defensive copies.
+        """
+        if self._support is None:
+            cols, inverse = np.unique(self.indices, return_inverse=True)
+            cols = cols.astype(np.int64)
+            cols.setflags(write=False)
+            self._support = (cols, inverse, np.diff(self.indptr))
+        return self._support
+
     # -- kernels ---------------------------------------------------------
     def matvec(self, w: np.ndarray) -> np.ndarray:
         """X @ w for dense ``w`` of length n_cols."""
@@ -124,35 +199,73 @@ class CSRMatrix:
             raise ValueError(f"w has shape {w.shape}, need ({self.shape[1]},)")
         if self.nnz == 0:
             return np.zeros(self.shape[0])
+        if self._spmv is None:
+            return self._build_spmv(w)
+        if self._spmv is not False:
+            return self._spmv @ w
+        return self._matvec_numpy(w)
+
+    def _matvec_numpy(self, w: np.ndarray) -> np.ndarray:
+        """Reference kernel: per-row left-to-right accumulation from zero."""
         products = self.data * w[self.indices]
-        row_ids = np.repeat(
-            np.arange(self.shape[0]), np.diff(self.indptr)
+        return np.bincount(
+            self._cached_row_ids(), weights=products, minlength=self.shape[0]
         )
-        return np.bincount(row_ids, weights=products, minlength=self.shape[0])
+
+    def _build_spmv(self, w: np.ndarray) -> np.ndarray:
+        """Build (and self-verify) the SciPy CSR matvec handle.
+
+        SciPy's csr matvec runs the same per-row left-to-right
+        accumulation as the bincount reference, so the results are
+        bit-identical — but that is a property of the platform's build,
+        not of the API, so the first call checks it.  On any mismatch
+        (or without scipy installed) the matrix permanently falls back
+        to the numpy kernel.
+        """
+        reference = self._matvec_numpy(w)
+        try:
+            from scipy.sparse import csr_matrix
+        except ImportError:
+            self._spmv = False
+            return reference
+        handle = csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+        if (handle @ w).tobytes() == reference.tobytes():
+            self._spmv = handle
+        else:
+            self._spmv = False
+        return reference
 
     def rmatvec_on_support(self, r: np.ndarray) -> "SparseDelta":
         """Xᵀ r restricted to touched columns, as a :class:`SparseDelta`.
 
         This is the sparse-gradient kernel: with r the per-sample residual,
         the LR gradient only has mass on features present in the batch.
+        The column support (one ``np.unique`` over nnz entries) is cached
+        per matrix; only the O(nnz) multiply + bincount run per call.
         """
         r = np.asarray(r, dtype=np.float64)
         if r.shape != (self.shape[0],):
             raise ValueError(f"r has shape {r.shape}, need ({self.shape[0]},)")
         if self.nnz == 0:
             return SparseDelta.empty((self.shape[1],))
-        row_nnz = np.diff(self.indptr)
+        cols, inverse, row_nnz = self._cached_support()
         per_entry = self.data * np.repeat(r, row_nnz)
-        cols, inverse = np.unique(self.indices, return_inverse=True)
         values = np.bincount(inverse, weights=per_entry, minlength=len(cols))
-        return SparseDelta(cols.astype(np.int64), values, (self.shape[1],))
+        return SparseDelta._trusted(cols, values, (self.shape[1],))
 
     def row_slice(self, start: int, stop: int) -> "CSRMatrix":
-        """The sub-matrix of rows ``[start, stop)``."""
+        """The sub-matrix of rows ``[start, stop)``.
+
+        A slice of a validated matrix cannot violate the CSR invariants,
+        so this skips the O(nnz) validation scan of the public
+        constructor (the index/data arrays are shared, not copied).
+        """
         start = max(0, start)
         stop = min(self.shape[0], stop)
         lo, hi = self.indptr[start], self.indptr[stop]
-        return CSRMatrix(
+        return CSRMatrix._trusted(
             self.indptr[start : stop + 1] - lo,
             self.indices[lo:hi],
             self.data[lo:hi],
@@ -178,8 +291,16 @@ class SparseDelta:
 
     Indices are *flat* (``np.ravel`` order), so the same structure covers
     vectors (LR weights) and matrices (PMF factor rows).  Instances are
-    value objects: arithmetic returns new deltas.
+    value objects: arithmetic returns new deltas, and callers must never
+    write to ``indices``/``values`` in place.
+
+    Every delta produced by this repo's kernels (gradients, filters,
+    merges) has **sorted, duplicate-free** indices; the
+    ``has_sorted_unique_indices`` property tracks the invariant lazily so
+    consumers can rely on it without re-scanning.
     """
+
+    __slots__ = ("indices", "values", "shape", "_sorted_unique")
 
     def __init__(
         self,
@@ -190,6 +311,7 @@ class SparseDelta:
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.values = np.ascontiguousarray(values, dtype=np.float64)
         self.shape = tuple(int(s) for s in shape)
+        self._sorted_unique: Optional[bool] = None
         if self.indices.shape != self.values.shape or self.indices.ndim != 1:
             raise ValueError("indices/values must be 1-D and equal length")
         size = int(np.prod(self.shape)) if self.shape else 0
@@ -199,8 +321,28 @@ class SparseDelta:
             raise ValueError("flat index out of range for shape")
 
     @classmethod
+    def _trusted(
+        cls,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, ...],
+        sorted_unique: Optional[bool] = True,
+    ) -> "SparseDelta":
+        """Internal constructor for arrays already known to be valid.
+
+        Skips the O(nnz) range scan; callers guarantee dtypes (int64 /
+        float64, contiguous), bounds, and the ``sorted_unique`` claim.
+        """
+        obj = cls.__new__(cls)
+        obj.indices = indices
+        obj.values = values
+        obj.shape = tuple(int(s) for s in shape)
+        obj._sorted_unique = sorted_unique
+        return obj
+
+    @classmethod
     def empty(cls, shape: Tuple[int, ...]) -> "SparseDelta":
-        return cls(np.empty(0, np.int64), np.empty(0, np.float64), shape)
+        return cls._trusted(np.empty(0, np.int64), np.empty(0, np.float64), shape)
 
     @classmethod
     def from_dense(
@@ -212,7 +354,7 @@ class SparseDelta:
             sel = np.flatnonzero(np.ravel(mask))
         else:
             sel = np.flatnonzero(flat)
-        return cls(sel, flat[sel], dense.shape)
+        return cls._trusted(sel, np.ascontiguousarray(flat[sel]), dense.shape)
 
     # -- properties -------------------------------------------------------
     @property
@@ -224,30 +366,103 @@ class SparseDelta:
         """Wire size of the update as MLLess would serialize it."""
         return self.nnz * (_INDEX_BYTES + _VALUE_BYTES)
 
+    @property
+    def has_sorted_unique_indices(self) -> bool:
+        """True when indices are strictly increasing (checked lazily once)."""
+        if self._sorted_unique is None:
+            self._sorted_unique = bool(np.all(np.diff(self.indices) > 0))
+        return self._sorted_unique
+
     # -- arithmetic -------------------------------------------------------
     def scale(self, factor: float) -> "SparseDelta":
-        return SparseDelta(self.indices, self.values * factor, self.shape)
+        return SparseDelta._trusted(
+            self.indices, self.values * factor, self.shape, self._sorted_unique
+        )
 
     def merge(self, other: "SparseDelta") -> "SparseDelta":
-        """Sum of two deltas over the same tensor (indices deduplicated)."""
+        """Sum of two deltas over the same tensor (indices deduplicated).
+
+        Always returns a delta whose arrays alias neither input — an
+        empty side yields a defensive copy of the other, never the other
+        object's own arrays.
+        """
         if other.shape != self.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
         if self.nnz == 0:
-            return other
+            return other._copy()
         if other.nnz == 0:
-            return self
+            return self._copy()
         idx = np.concatenate([self.indices, other.indices])
         val = np.concatenate([self.values, other.values])
         uniq, inverse = np.unique(idx, return_inverse=True)
         summed = np.bincount(inverse, weights=val, minlength=len(uniq))
-        return SparseDelta(uniq, summed, self.shape)
+        return SparseDelta._trusted(uniq, summed, self.shape)
+
+    @classmethod
+    def merge_many(
+        cls,
+        deltas: "Sequence[SparseDelta]",
+        shape: Optional[Tuple[int, ...]] = None,
+    ) -> "SparseDelta":
+        """Sum of n deltas over the same tensor (indices deduplicated).
+
+        One concatenate and one ``np.unique`` over all entries, instead
+        of the O(k) pairwise merges of a fold — and bit-identical to that
+        fold, because both accumulate each index's contributions in input
+        order starting from zero.  ``shape`` is only needed when
+        ``deltas`` may be empty.
+        """
+        deltas = [d for d in deltas if d.nnz]
+        if not deltas:
+            if shape is None:
+                raise ValueError("merge_many of no deltas needs an explicit shape")
+            return cls.empty(shape)
+        first_shape = deltas[0].shape
+        for d in deltas[1:]:
+            if d.shape != first_shape:
+                raise ValueError(f"shape mismatch: {first_shape} vs {d.shape}")
+        if len(deltas) == 1:
+            return deltas[0]._copy()
+        idx = np.concatenate([d.indices for d in deltas])
+        val = np.concatenate([d.values for d in deltas])
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        summed = np.bincount(inverse, weights=val, minlength=len(uniq))
+        return cls._trusted(uniq, summed, first_shape)
+
+    def _copy(self) -> "SparseDelta":
+        """An independent copy (fresh index/value arrays)."""
+        return SparseDelta._trusted(
+            self.indices.copy(), self.values.copy(), self.shape, self._sorted_unique
+        )
 
     def apply_to(self, dense: np.ndarray) -> None:
-        """In-place ``dense[flat idx] += values``."""
+        """In-place ``dense[flat idx] += values``.
+
+        Uses ``np.add.at``: on NumPy >= 1.25 the ufunc ``.at`` fast path
+        is the quickest correct scatter-add (measurably faster than the
+        gather/add/scatter of a fancy-index ``+=``, which is kept as
+        :meth:`_apply_fancy` for the equivalence property tests).
+        """
         if dense.shape != self.shape:
             raise ValueError(f"shape mismatch: {dense.shape} vs {self.shape}")
         if self.nnz:
             np.add.at(np.ravel(dense), self.indices, self.values)
+
+    def _apply_fancy(self, dense: np.ndarray) -> None:
+        """Fancy-index scatter: valid only because indices are unique.
+
+        Bit-identical to :meth:`apply_to` for sorted-unique deltas (the
+        invariant every kernel in this repo maintains); property-tested
+        against it, and benchmarked so a future NumPy where this wins
+        again is visible in BENCH output.
+        """
+        if dense.shape != self.shape:
+            raise ValueError(f"shape mismatch: {dense.shape} vs {self.shape}")
+        if not self.has_sorted_unique_indices:
+            raise ValueError("fancy-index scatter requires sorted-unique indices")
+        if self.nnz:
+            flat = np.ravel(dense)
+            flat[self.indices] += self.values
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape)

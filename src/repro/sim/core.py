@@ -75,7 +75,14 @@ class Event:
     An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
     triggers it and schedules its callbacks to run at the current simulated
     time.  Once triggered, an event cannot be triggered again.
+
+    Events are the highest-churn allocation of the whole simulator (every
+    simulated service call makes several), so the class — and every
+    subclass — carries ``__slots__``; state beyond the slots must live in
+    the payloads the kernel passes around, never as ad-hoc attributes.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -161,15 +168,25 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are born triggered, so ``__init__`` writes the slots
+    directly instead of going through :class:`Event` and overwriting —
+    this is the hottest constructor in the simulator (every simulated
+    latency is one).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.defused = False
+        self.delay = delay
         env._schedule(self, delay=delay)
 
     def __repr__(self) -> str:
@@ -179,11 +196,14 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that starts a :class:`Process` at spawn time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
+        self._ok = True
+        self.defused = False
         env._schedule(self)
 
 
@@ -198,6 +218,8 @@ class Process(Event):
     The process itself is an event that succeeds with the generator's
     return value (or fails with its uncaught exception).
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -285,6 +307,8 @@ class Process(Event):
 
 class Environment:
     """The simulation environment: clock plus event queue."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

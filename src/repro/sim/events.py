@@ -22,6 +22,8 @@ class Condition(Event):
     events fired (useful with :class:`AnyOf`).
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: Environment,
@@ -75,12 +77,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds when every event in ``events`` has succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: List[Event]):
         super().__init__(env, lambda evts, count: count == len(evts), events)
 
 
 class AnyOf(Condition):
     """Succeeds as soon as one event in ``events`` has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: List[Event]):
         super().__init__(env, lambda evts, count: count >= 1, events)

@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Deque, List, Tuple
 
 from .core import Environment, Event, SimulationError
 
@@ -26,6 +26,8 @@ __all__ = ["Resource", "Request", "Store", "Container"]
 
 class Request(Event):
     """A pending acquisition of one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
@@ -97,7 +99,9 @@ class Store:
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()
+        #: blocked puts as (event, item) pairs — events are slotted, so
+        #: payloads ride alongside them instead of as ad-hoc attributes
+        self._putters: Deque[Tuple[Event, Any]] = deque()
 
     @property
     def items(self) -> List[Any]:
@@ -110,11 +114,10 @@ class Store:
     def put(self, item: Any) -> Event:
         """Insert ``item``; the event fires once there is room."""
         event = Event(self.env)
-        event.item = item
         if len(self._items) < self.capacity:
-            self._do_put(event)
+            self._do_put(event, item)
         else:
-            self._putters.append(event)
+            self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
@@ -139,19 +142,19 @@ class Store:
         except ValueError:
             pass
 
-    def _do_put(self, event: Event) -> None:
+    def _do_put(self, event: Event, item: Any) -> None:
         if self._getters:
             getter = self._getters.popleft()
-            getter.succeed(event.item)
+            getter.succeed(item)
         else:
-            self._items.append(event.item)
+            self._items.append(item)
         event.succeed()
 
     def _do_get(self, event: Event) -> None:
         event.succeed(self._items.popleft())
         if self._putters and len(self._items) < self.capacity:
-            putter = self._putters.popleft()
-            self._do_put(putter)
+            putter, item = self._putters.popleft()
+            self._do_put(putter, item)
 
 
 class Container:
@@ -170,8 +173,9 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._getters: Deque = deque()
-        self._putters: Deque = deque()
+        #: blocked transfers as (event, amount) pairs (events are slotted)
+        self._getters: Deque[Tuple[Event, float]] = deque()
+        self._putters: Deque[Tuple[Event, float]] = deque()
 
     @property
     def level(self) -> float:
@@ -181,8 +185,7 @@ class Container:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
         event = Event(self.env)
-        event.amount = amount
-        self._putters.append(event)
+        self._putters.append((event, amount))
         self._settle()
         return event
 
@@ -190,8 +193,7 @@ class Container:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
         event = Event(self.env)
-        event.amount = amount
-        self._getters.append(event)
+        self._getters.append((event, amount))
         self._settle()
         return event
 
@@ -199,13 +201,13 @@ class Container:
         progress = True
         while progress:
             progress = False
-            if self._putters and self._level + self._putters[0].amount <= self.capacity:
-                putter = self._putters.popleft()
-                self._level += putter.amount
+            if self._putters and self._level + self._putters[0][1] <= self.capacity:
+                putter, amount = self._putters.popleft()
+                self._level += amount
                 putter.succeed()
                 progress = True
-            if self._getters and self._level >= self._getters[0].amount:
-                getter = self._getters.popleft()
-                self._level -= getter.amount
-                getter.succeed(getter.amount)
+            if self._getters and self._level >= self._getters[0][1]:
+                getter, amount = self._getters.popleft()
+                self._level -= amount
+                getter.succeed(amount)
                 progress = True

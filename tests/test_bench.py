@@ -1,0 +1,208 @@
+"""Tests for the microbenchmark harness (``repro.bench``).
+
+The harness is CI infrastructure: a silent bug here (a checksum that
+never fires, a gate that never fails) would let a results-changing
+"optimization" through, so the failure paths are tested as carefully as
+the happy path.  Timing tests use toy synthetic ops — never the real
+workloads — to stay fast and deterministic.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    ALL_OPS,
+    GATED_GROUPS,
+    BenchOp,
+    checksum_bytes,
+    compare,
+    run_suite,
+    write_results,
+)
+from repro.bench.cli import main
+
+
+def _toy_op(name="kernel.toy", group="kernel", value=7, portable=True):
+    return BenchOp(
+        name=name,
+        group=group,
+        make_state=lambda: value,
+        run=lambda state, payload: state * 2,
+        checksum=lambda out: checksum_bytes(str(out).encode()),
+        portable=portable,
+    )
+
+
+def _doc(*entries, name="doc"):
+    return {
+        "schema_version": 1,
+        "name": name,
+        "quick": False,
+        "host": {},
+        "ops": [dict(e) for e in entries],
+    }
+
+
+def _entry(op="kernel.toy", group="kernel", p50=1000, checksum="abc", portable=True):
+    return {
+        "op": op,
+        "group": group,
+        "reps": 5,
+        "p50_ns": p50,
+        "p95_ns": p50 * 2,
+        "checksum": checksum,
+        "portable_checksum": portable,
+    }
+
+
+# ------------------------------------------------------------ checksums
+def test_checksum_bytes_is_length_prefixed():
+    # ("ab", "c") and ("a", "bc") concatenate identically; the length
+    # prefix must still distinguish them.
+    assert checksum_bytes(b"ab", b"c") != checksum_bytes(b"a", b"bc")
+    assert checksum_bytes(b"x") == checksum_bytes(b"x")
+
+
+# ------------------------------------------------------------ run_suite
+def test_run_suite_document_schema():
+    doc = run_suite([_toy_op()], name="t", quick=True)
+    assert set(doc) == {"schema_version", "name", "quick", "host", "ops"}
+    assert doc["name"] == "t" and doc["quick"] is True
+    (entry,) = doc["ops"]
+    assert entry["op"] == "kernel.toy"
+    assert entry["group"] == "kernel"
+    assert entry["reps"] > 0
+    assert entry["p50_ns"] >= 0 and entry["p95_ns"] >= entry["p50_ns"]
+    assert entry["checksum"] == checksum_bytes(b"14")
+    assert entry["portable_checksum"] is True
+
+
+def test_run_suite_only_filter_and_unknown_op():
+    ops = [_toy_op("kernel.a"), _toy_op("kernel.b")]
+    doc = run_suite(ops, name="t", quick=True, only=["kernel.b"])
+    assert [e["op"] for e in doc["ops"]] == ["kernel.b"]
+    with pytest.raises(ValueError, match="unknown ops"):
+        run_suite(ops, name="t", quick=True, only=["kernel.nope"])
+
+
+def test_run_suite_prepare_runs_outside_timed_region():
+    # An op that mutates its payload still checksums correctly because
+    # prepare() hands it a fresh payload each rep.
+    op = BenchOp(
+        name="scatter.toy",
+        group="scatter",
+        make_state=lambda: [1, 2, 3],
+        prepare=lambda state: list(state),
+        run=lambda state, payload: payload.append(4) or payload,
+        checksum=lambda out: checksum_bytes(bytes(out)),
+    )
+    doc = run_suite([op], name="t", quick=True)
+    assert doc["ops"][0]["checksum"] == checksum_bytes(bytes([1, 2, 3, 4]))
+
+
+def test_write_results_roundtrip(tmp_path):
+    doc = run_suite([_toy_op()], name="unit", quick=True)
+    path = write_results(doc, str(tmp_path))
+    assert path.endswith("BENCH_unit.json")
+    with open(path) as handle:
+        assert json.load(handle) == doc
+
+
+def test_registered_ops_cover_every_gated_group():
+    groups = {op.group for op in ALL_OPS}
+    for gated in GATED_GROUPS:
+        assert gated in groups
+    assert len({op.name for op in ALL_OPS}) == len(ALL_OPS)
+
+
+# -------------------------------------------------------------- compare
+def test_compare_passes_on_identical_docs():
+    doc = _doc(_entry())
+    result = compare(doc, copy.deepcopy(doc), min_speedup=0.0)
+    assert result.ok
+    assert result.speedups["kernel.toy"][2] == pytest.approx(1.0)
+
+
+def test_compare_fails_on_checksum_drift():
+    base = _doc(_entry(checksum="aaa"))
+    new = _doc(_entry(checksum="bbb", p50=1))  # huge speedup cannot save it
+    result = compare(base, new, min_speedup=0.0)
+    assert not result.ok
+    assert any("checksum drift" in line for line in result.lines)
+
+
+def test_compare_fails_below_gate_only_for_gated_groups():
+    base = _doc(_entry("kernel.toy", "kernel"), _entry("sim.toy", "sim"))
+    new = _doc(
+        _entry("kernel.toy", "kernel", p50=900),  # 1.11x < 2x -> gated FAIL
+        _entry("sim.toy", "sim", p50=2000),  # 0.5x but ungated -> ok
+    )
+    result = compare(base, new, min_speedup=2.0)
+    assert not result.ok
+    fails = [line for line in result.lines if line.startswith("FAIL")]
+    assert len(fails) == 1 and "kernel.toy" in fails[0]
+
+
+def test_compare_gate_disabled_at_zero():
+    base = _doc(_entry(p50=1000))
+    new = _doc(_entry(p50=5000))  # 0.2x regression
+    assert compare(base, new, min_speedup=0.0).ok
+
+
+def test_compare_portable_only_skips_nonportable_drift():
+    base = _doc(_entry(checksum="aaa", portable=False))
+    new = _doc(_entry(checksum="bbb", portable=False))
+    strict = compare(base, new, min_speedup=0.0)
+    lax = compare(base, new, min_speedup=0.0, portable_only=True)
+    assert not strict.ok
+    assert lax.ok
+    assert any(line.startswith("skip") for line in lax.lines)
+
+
+def test_compare_reports_missing_and_new_ops():
+    base = _doc(_entry("kernel.old"))
+    new = _doc(_entry("kernel.new"))
+    result = compare(base, new, min_speedup=0.0)
+    assert result.ok  # informational only
+    assert any("kernel.old: missing" in line for line in result.lines)
+    assert any("kernel.new: new op" in line for line in result.lines)
+
+
+# ------------------------------------------------------------------ CLI
+def test_cli_list_ops(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for op in ALL_OPS:
+        assert op.name in out
+
+
+def test_cli_unknown_op_is_an_error(capsys):
+    assert main(["--ops", "kernel.nope"]) == 2
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    base = tmp_path / "BENCH_a.json"
+    good = tmp_path / "BENCH_b.json"
+    drifted = tmp_path / "BENCH_c.json"
+    base.write_text(json.dumps(_doc(_entry(p50=1000), name="a")))
+    good.write_text(json.dumps(_doc(_entry(p50=100), name="b")))
+    drifted.write_text(json.dumps(_doc(_entry(checksum="zzz"), name="c")))
+
+    assert main(["--compare", str(base), str(good)]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert main(["--compare", str(base), str(drifted), "--min-speedup", "0"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_runs_single_real_op(tmp_path, capsys):
+    # One cheap real op end-to-end: exercises ops.py wiring and the
+    # writer without paying for the full suite.
+    assert main(
+        ["--quick", "--ops", "kernel.row_slice", "--name", "t", "--out", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "kernel.row_slice" in out
+    doc = json.loads((tmp_path / "BENCH_t.json").read_text())
+    assert [e["op"] for e in doc["ops"]] == ["kernel.row_slice"]

@@ -153,8 +153,14 @@ def test_delta_merge_sums_duplicates():
 def test_delta_merge_with_empty():
     a = SparseDelta(np.array([0]), np.array([1.0]), (3,))
     empty = SparseDelta.empty((3,))
-    assert a.merge(empty) is a
-    assert empty.merge(a) is a
+    for merged in (a.merge(empty), empty.merge(a)):
+        np.testing.assert_array_equal(merged.indices, a.indices)
+        np.testing.assert_array_equal(merged.values, a.values)
+        # Value objects: no aliasing even on the empty-side shortcut —
+        # mutating the merge result must never reach back into an input.
+        assert merged is not a
+        assert not np.shares_memory(merged.values, a.values)
+        assert not np.shares_memory(merged.indices, a.indices)
 
 
 def test_delta_merge_shape_mismatch_rejected():
