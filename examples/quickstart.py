@@ -7,6 +7,12 @@ trajectory, the execution time, and the itemized bill.
     python examples/quickstart.py
     python examples/quickstart.py --faults chaos
     python examples/quickstart.py --report /tmp/quickstart.json
+    python examples/quickstart.py --trace /tmp/quickstart-trace.json
+
+The ``--trace`` file is Chrome trace-event JSON: drag it into
+https://ui.perfetto.dev to see every activation, step, barrier and
+storage request on the simulated timeline.  The lossless dump lands next
+to it at ``<PATH>.jsonl`` for ``python -m repro.trace summary/cost``.
 """
 
 import argparse
@@ -27,6 +33,11 @@ def build_parser():
     parser.add_argument(
         "--report", default=None, metavar="PATH",
         help="write a JSON run report (summary + extras) to PATH",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace: Chrome trace JSON at PATH (Perfetto), "
+        "lossless JSONL at PATH.jsonl",
     )
     return parser
 
@@ -55,7 +66,12 @@ def main(argv=None):
         seed=42,
         faults=faults,
     )
-    result = run_mlless(config)
+    tracer = None
+    if args.trace is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+    result = run_mlless(config, tracer=tracer)
 
     print(f"\nconverged: {result.converged} in {result.total_steps} steps")
     print(f"execution time: {result.exec_time:.1f} simulated seconds")
@@ -76,6 +92,36 @@ def main(argv=None):
         recovered = int(result.extras.get("faults_recovered", 0))
         print(f"faults injected: {injected}, recoveries: {recovered}")
 
+    trace_section = None
+    if tracer is not None:
+        from repro.experiments.report import render_table
+        from repro.trace import CostLedger
+        from repro.trace_cli import write_run_trace
+
+        billing = result.meter.faas
+        ledger = CostLedger.from_trace(tracer, billing)
+        print()
+        print(render_table(ledger.category_table(),
+                           "FaaS cost attribution by category"))
+        reconciled = ledger.reconcile()
+        print(f"attributed: {100 * reconciled['attributed_fraction']:.2f}% "
+              f"of billed GB-s (ledger error "
+              f"{reconciled['abs_error']:.2e})")
+        chrome_path, jsonl_path = write_run_trace(
+            tracer, args.trace, billing=billing
+        )
+        print(f"trace written to {chrome_path} "
+              f"(open in https://ui.perfetto.dev); JSONL at {jsonl_path}")
+        trace_section = {
+            "chrome_trace": chrome_path,
+            "jsonl": jsonl_path,
+            "attributed_fraction": reconciled["attributed_fraction"],
+            "cost_by_category": {
+                cat: round(entry["cost"], 10)
+                for cat, entry in sorted(ledger.by_category().items())
+            },
+        }
+
     if args.report is not None:
         report = {
             "summary": result.summary(),
@@ -89,6 +135,8 @@ def main(argv=None):
                 k: round(v, 8) for k, v in sorted(result.meter.breakdown().items())
             },
         }
+        if trace_section is not None:
+            report["trace"] = trace_section
         with open(args.report, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True, default=float)
             fh.write("\n")

@@ -107,13 +107,17 @@ def first_divergence(
     return None
 
 
-def default_run(seed: int) -> Monitor:
+def default_run(seed: int, tracer=None) -> Monitor:
     """One small-but-real MLLess training run with a traced monitor.
 
     Deliberately exercises the full stack — FaaS platform, KV/MQ/COS
     services, barrier supervisor, significance filter — on a PMF
     workload small enough to finish in about a second, so the oracle is
     cheap enough for CI yet covers the same code paths the figures use.
+
+    ``tracer`` optionally threads a :class:`repro.trace.Tracer` through the
+    run — used by :func:`trace_invariance_check` to prove that span tracing
+    does not perturb the schedule.
     """
     from ..core import JobConfig, MLLessDriver
     from ..experiments.common import build_world, make_runtime
@@ -132,7 +136,7 @@ def default_run(seed: int) -> Monitor:
         max_steps=25,
         seed=seed,
     )
-    world = build_world(seed=config.seed)
+    world = build_world(seed=config.seed, tracer=tracer)
     runtime = make_runtime(world, config)
     runtime.monitor.enable_trace()
     MLLessDriver(world.env, world.platform, runtime, meter=world.meter).run()
@@ -168,6 +172,27 @@ def check_determinism(
     return DeterminismReport(
         ok=True, seed=seed, runs=runs, digests=digests, n_events=len(reference)
     )
+
+
+def trace_invariance_check(seed: int = 0) -> DeterminismReport:
+    """Prove the zero-perturbation invariant of :mod:`repro.trace`.
+
+    Runs the default workload once untraced and once with a recording
+    :class:`~repro.trace.Tracer` attached to every service, and requires
+    the monitor trace digests to be bit-identical.  Any tracer that
+    schedules events, yields, or draws randomness fails this check.
+    """
+    from ..trace import Tracer
+
+    calls = {"n": 0}
+
+    def alternating(s: int) -> Monitor:
+        calls["n"] += 1
+        if calls["n"] % 2 == 0:
+            return default_run(s, tracer=Tracer())
+        return default_run(s)
+
+    return check_determinism(seed=seed, runs=2, run_fn=alternating)
 
 
 def _wallclock_contaminated(run_fn: RunFn) -> RunFn:
@@ -206,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="self-test: contaminate run 2 with a host-clock read (must fail)",
     )
+    parser.add_argument(
+        "--trace-invariance",
+        action="store_true",
+        help="compare an untraced run against one with span tracing on "
+        "(must produce identical digests)",
+    )
     return parser
 
 
@@ -215,20 +246,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.inject_wallclock:
         run_fn = _wallclock_contaminated(run_fn)
     try:
-        report = check_determinism(seed=args.seed, runs=args.runs, run_fn=run_fn)
+        if args.trace_invariance:
+            report = trace_invariance_check(seed=args.seed)
+        else:
+            report = check_determinism(
+                seed=args.seed, runs=args.runs, run_fn=run_fn
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    label = "trace-invariance" if args.trace_invariance else "determinism oracle"
     if args.as_json:
         print(json.dumps(report.to_dict(), indent=2))
     elif report.ok:
         print(
-            f"determinism oracle: OK — {report.runs} runs of seed {report.seed} "
+            f"{label}: OK — {report.runs} runs of seed {report.seed} "
             f"produced identical traces ({report.n_events} events, "
             f"digest {report.digests[0][:16]}…)"
         )
     else:
-        print(f"determinism oracle: FAIL — seed {report.seed}")
+        print(f"{label}: FAIL — seed {report.seed}")
         for index, digest in enumerate(report.digests, start=1):
             print(f"  run {index}: {digest}")
         if report.divergence is not None:

@@ -55,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", choices=["off"] + sorted(FAULT_PROFILES), default="off",
         help="inject a named fault profile (mlless only; seed-deterministic)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace (mlless only): Chrome trace JSON at PATH "
+        "(Perfetto-loadable), lossless JSONL at PATH.jsonl",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list workloads and exit")
     return parser
@@ -93,7 +98,11 @@ def main(argv=None) -> int:
     if profile is not None and args.system != "mlless":
         print("--faults is only supported with --system mlless", file=sys.stderr)
         return 2
+    if args.trace is not None and args.system != "mlless":
+        print("--trace is only supported with --system mlless", file=sys.stderr)
+        return 2
 
+    tracer = None
     if args.system == "mlless":
         config = mlless_config(
             workload, n_workers=args.workers, v=args.v,
@@ -101,7 +110,11 @@ def main(argv=None) -> int:
             max_steps=args.max_steps, seed=args.seed,
             faults=profile,
         )
-        result = run_mlless(config)
+        if args.trace is not None:
+            from .trace import Tracer
+
+            tracer = Tracer()
+        result = run_mlless(config, tracer=tracer)
     elif args.system == "serverful":
         result = run_serverful_workload(
             workload, args.workers, target_loss=target,
@@ -122,6 +135,19 @@ def main(argv=None) -> int:
     fault_rows = fault_summary_rows(result)
     if fault_rows:
         print(render_table(fault_rows, f"faults ({args.faults})"))
+    if tracer is not None:
+        from .trace import CostLedger
+        from .trace_cli import write_run_trace
+
+        billing = result.meter.faas
+        ledger = CostLedger.from_trace(tracer, billing)
+        print(render_table(ledger.category_table(),
+                           "FaaS cost attribution by category"))
+        chrome_path, jsonl_path = write_run_trace(
+            tracer, args.trace, billing=billing
+        )
+        print(f"trace written to {chrome_path} "
+              f"(open in https://ui.perfetto.dev); JSONL at {jsonl_path}")
     return 0 if result.converged or result.total_steps > 0 else 1
 
 

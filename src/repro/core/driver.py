@@ -15,6 +15,7 @@ from typing import Any, Dict, Generator, Optional
 from ..faas import FaaSPlatform, FunctionSpec
 from ..pricing import CostMeter
 from ..sim import Environment, Interrupt
+from ..trace.tracer import NO_SPAN
 from .history import RunResult
 from .runtime import JobRuntime
 from .ssp import ssp_supervisor_handler, ssp_worker_handler
@@ -66,6 +67,7 @@ class MLLessDriver:
         """The driver as a simulation process (for composition)."""
         runtime = self.runtime
         config = runtime.config
+        tracer = runtime.tracer
 
         messaging_lease = self.meter.lease(MESSAGING_INSTANCE, self.env.now)
         redis_lease = self.meter.lease(REDIS_INSTANCE, self.env.now)
@@ -74,39 +76,20 @@ class MLLessDriver:
         self._declare_channels()
 
         started_at = self.env.now
-        worker_fn, supervisor_fn = self._function_names()
-        roles = [
-            self.env.process(
-                self._run_role(supervisor_fn, {"runtime": runtime}),
-                name="role-supervisor",
+        sp_job = NO_SPAN
+        if tracer.enabled:
+            sp_job = tracer.begin(
+                "job",
+                "mlless-job",
+                n_workers=config.n_workers,
+                sync=config.sync,
+                v=config.significance_v,
             )
-        ]
-        for w in range(config.n_workers):
-            roles.append(
-                self.env.process(
-                    self._run_role(
-                        worker_fn, {"runtime": runtime, "worker_id": w}
-                    ),
-                    name=f"role-worker-{w}",
-                )
-            )
-        if config.ft_enabled:
-            # The supervisor decides when the job is over; workers that
-            # were abandoned mid-job may be blocked forever on a barrier
-            # release, so wait for them only up to a grace period, then
-            # interrupt the stragglers (their activations are still
-            # billed — FaaS charges failed activations for consumed GB-s).
-            yield roles[0]
-            workers_done = self.env.all_of(roles[1:])
-            grace = self.env.timeout(WORKER_DRAIN_GRACE_S)
-            result = yield self.env.any_of([workers_done, grace])
-            if workers_done not in result:
-                for role in roles[1:]:
-                    if role.is_alive:
-                        role.interrupt(cause="job-finished")
-                yield workers_done
-        else:
-            yield self.env.all_of(roles)
+        try:
+            yield from self._run_roles(runtime, config, tracer, sp_job)
+        finally:
+            if sp_job >= 0:
+                tracer.end(sp_job)
         finished_at = self.env.now
 
         self.meter.release(messaging_lease, finished_at)
@@ -134,6 +117,46 @@ class MLLessDriver:
             extras=extras,
         )
         return self.result
+
+    def _run_roles(self, runtime, config, tracer, sp_job) -> Generator:
+        """Launch one process per role and wait for the job to drain."""
+        worker_fn, supervisor_fn = self._function_names()
+        roles = [
+            self.env.process(
+                self._run_role(supervisor_fn, {"runtime": runtime}),
+                name="role-supervisor",
+            )
+        ]
+        for w in range(config.n_workers):
+            roles.append(
+                self.env.process(
+                    self._run_role(
+                        worker_fn, {"runtime": runtime, "worker_id": w}
+                    ),
+                    name=f"role-worker-{w}",
+                )
+            )
+        if sp_job >= 0:
+            # Invoke spans opened by the role processes nest under the job.
+            for role in roles:
+                tracer.adopt(role, sp_job)
+        if config.ft_enabled:
+            # The supervisor decides when the job is over; workers that
+            # were abandoned mid-job may be blocked forever on a barrier
+            # release, so wait for them only up to a grace period, then
+            # interrupt the stragglers (their activations are still
+            # billed — FaaS charges failed activations for consumed GB-s).
+            yield roles[0]
+            workers_done = self.env.all_of(roles[1:])
+            grace = self.env.timeout(WORKER_DRAIN_GRACE_S)
+            result = yield self.env.any_of([workers_done, grace])
+            if workers_done not in result:
+                for role in roles[1:]:
+                    if role.is_alive:
+                        role.interrupt(cause="job-finished")
+                yield workers_done
+        else:
+            yield self.env.all_of(roles)
 
     # -- internals -------------------------------------------------------
     def _function_names(self):
@@ -201,6 +224,14 @@ class MLLessDriver:
                         "error": repr(error),
                     }
                 self.runtime.note_recovery("invoke_retry")
+                if self.runtime.tracer.enabled:
+                    self.runtime.tracer.event(
+                        "invoke",
+                        "retry",
+                        function=function,
+                        attempt=attempt,
+                        error=type(error).__name__,
+                    )
                 backoff = min(
                     config.retry_backoff_base_s * 2 ** (attempt - 1),
                     config.retry_backoff_cap_s,
@@ -213,6 +244,10 @@ class MLLessDriver:
                 continue
             attempt = 0
             if isinstance(result, dict) and result.get("outcome") == "relaunch":
+                if self.runtime.tracer.enabled:
+                    self.runtime.tracer.event(
+                        "invoke", "relaunch", function=function
+                    )
                 payload = {**payload, "resume": True}
                 continue
             if function.endswith("supervisor"):

@@ -21,6 +21,7 @@ from ..ml.optim.base import Optimizer
 from ..ml.parameters import ParameterSet
 from ..sim import Monitor
 from ..storage import Exchange, KVStore, MessageQueue, ObjectStore
+from ..trace.tracer import NULL_TRACER
 from .config import JobConfig
 from .significance import SignificanceFilter
 
@@ -47,6 +48,9 @@ class JobRuntime:
     #: the run's :class:`~repro.faults.FaultInjector`, if any — used by
     #: the training components to report recovery actions
     faults: Optional[Any] = None
+    #: the run's span tracer (a no-op :data:`~repro.trace.NULL_TRACER`
+    #: unless the experiment was started with tracing on)
+    tracer: Any = NULL_TRACER
 
     def note_recovery(self, kind: str) -> None:
         """Count a recovery action in the run's fault statistics."""

@@ -87,6 +87,7 @@ def supervisor_handler(
     runtime: JobRuntime = payload["runtime"]
     config = runtime.config
     started = ctx.now
+    ctx.annotate(role="supervisor")
 
     if payload.get("resume"):
         if config.ft_enabled:
@@ -220,11 +221,30 @@ def _maybe_release_barrier(
         decision = state.scheduler.should_evict(now)
         if decision.evict:
             evict = _pick_victim(state)
+            if evict is not None and runtime.tracer.enabled:
+                runtime.tracer.event(
+                    "scale_in",
+                    "evict",
+                    step=step,
+                    victim=evict,
+                    reason=decision.reason,
+                    s_delta=decision.s_delta,
+                )
     senders = [w for w, m in sorted(collected.items()) if m["has_update"]]
     next_active = len(state.active) - (1 if evict is not None else 0)
     release = messages.step_complete(
         step, stop, senders, next_active, evict=evict
     )
+    if runtime.tracer.enabled:
+        runtime.tracer.event(
+            "barrier",
+            "release",
+            step=step,
+            senders=len(senders),
+            active=next_active,
+            stop=stop,
+            mean_loss=mean_loss,
+        )
     yield from runtime.exchange.publish(release)
 
     state.completed_step = step
@@ -298,6 +318,10 @@ def _handle_barrier_timeout(
 
     # Resync budget exhausted: give up on the silent workers so the
     # survivors can make progress with a smaller pool.
+    if runtime.tracer.enabled:
+        runtime.tracer.event(
+            "scale_in", "abandon", step=step, workers=len(missing)
+        )
     for worker in missing:
         state.active.discard(worker)
         runtime.exchange.unbind(runtime.worker_queue(worker))

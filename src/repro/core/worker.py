@@ -28,6 +28,7 @@ import numpy as np
 
 from ..faas import InvocationContext
 from ..storage import StorageError
+from ..trace.tracer import NO_SPAN
 from . import messages
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter
@@ -66,6 +67,8 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
     calib = config.calibration
     model = config.model
     started = ctx.now
+    tracer = ctx.tracer
+    ctx.annotate(worker=worker_id, role="worker")
 
     if payload.get("resume"):
         if config.ft_enabled:
@@ -93,102 +96,128 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
 
     while True:
         t = state.step + 1
+        sp_step = NO_SPAN
+        sp_barrier = NO_SPAN
+        if tracer.enabled:
+            sp_step = tracer.begin("step", f"step-{t}", worker=worker_id, step=t)
+        try:
+            # (1) pending reintegration of an evicted peer's replica.
+            if state.pending_replica is not None:
+                yield from _reintegrate(ctx, runtime, state)
 
-        # (1) pending reintegration of an evicted peer's replica.
-        if state.pending_replica is not None:
-            yield from _reintegrate(ctx, runtime, state)
-
-        # (2) fetch the next mini-batch of this worker's partition.
-        batch_idx = partition[(t - 1) % len(partition)]
-        batch = yield from runtime.cos.get(
-            runtime.bucket, runtime.batch_keys[batch_idx]
-        )
-
-        # (3) local gradient — real arithmetic, simulated CPU time.
-        yield from ctx.compute(
-            calib.mlless_step_seconds(model.sparse_step_flops(batch))
-        )
-        loss, grad = model.gradient(state.params, batch)
-
-        # (4) optimize, scale by the pool size (gradient averaging, §3.2),
-        # apply locally, filter, publish the significant part.
-        update = state.optimizer.step(state.params, grad, t).scale(
-            1.0 / state.active_workers
-        )
-        state.params.apply(update)
-        outgoing = state.sig_filter.step(state.params, update, t)
-        has_update = not outgoing.is_empty()
-        if has_update:
-            yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
-
-        # (5) tell the supervisor this step is computed.
-        report = messages.step_done(worker_id, t, loss, has_update, outgoing.nnz)
-        if config.ft_enabled:
-            # Kept so a lost report can be re-published on resync.
-            state.last_report = report
-        yield from runtime.mq.publish(runtime.supervisor_queue, report)
-
-        # (6) barrier: wait for the supervisor's release, pull peer updates.
-        if config.ft_enabled:
-            release = yield from _await_release(runtime, state, my_queue, t)
-        else:
-            release = yield from runtime.mq.consume(my_queue)
-            if messages.validate(release) != messages.STEP_COMPLETE:
-                raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
-            if release["step"] != t:
-                raise RuntimeError(
-                    f"worker {worker_id}: barrier for step {release['step']} "
-                    f"while at step {t}"
-                )
-        peer_updates = []
-        for peer in release["senders"]:
-            if peer == worker_id:
-                continue
-            peer_updates.append(
-                (yield from runtime.kv.get(runtime.update_key(t, peer)))
+            # (2) fetch the next mini-batch of this worker's partition.
+            batch_idx = partition[(t - 1) % len(partition)]
+            batch = yield from runtime.cos.get(
+                runtime.bucket, runtime.batch_keys[batch_idx]
             )
-        # Fused scatter, bit-identical to applying one update at a time in
-        # sender order (see ParameterSet.apply_many).  Peers must NOT be
-        # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
-        # floats, and the convergence traces are checked bit-exactly.
-        state.params.apply_many(peer_updates)
 
-        state.step = t
-        state.active_workers = release["active"]
+            # (3) local gradient — real arithmetic, simulated CPU time.
+            yield from ctx.compute(
+                calib.mlless_step_seconds(model.sparse_step_flops(batch))
+            )
+            loss, grad = model.gradient(state.params, batch)
 
-        evicted = release["evict"]
-        if evicted == worker_id:
-            yield from _depart(ctx, runtime, state)
-            return {"worker": worker_id, "steps": t, "outcome": "evicted"}
-        if evicted is not None:
-            state.pending_replica = (t, evicted)
-
-        if release["stop"]:
-            return {"worker": worker_id, "steps": t, "outcome": "converged"}
-
-        # FT: periodic barrier checkpoint so a crashed activation resumes
-        # from the last completed step instead of from scratch.  Snapshot:
-        # the KV store holds objects by reference, and the live replica
-        # keeps mutating after the write.
-        checkpointed = False
-        ckpt_every = config.checkpoint_every
-        if ckpt_every and t % ckpt_every == 0:
-            try:
-                yield from runtime.kv.set(
-                    runtime.checkpoint_key(worker_id), state.snapshot()
+            # (4) optimize, scale by the pool size (gradient averaging, §3.2),
+            # apply locally, filter, publish the significant part.
+            update = state.optimizer.step(state.params, grad, t).scale(
+                1.0 / state.active_workers
+            )
+            state.params.apply(update)
+            outgoing = state.sig_filter.step(state.params, update, t)
+            has_update = not outgoing.is_empty()
+            if tracer.enabled:
+                tracer.event(
+                    "filter.decision",
+                    "significance",
+                    worker=worker_id,
+                    step=t,
+                    significant=has_update,
+                    nnz=int(outgoing.nnz),
                 )
-                checkpointed = True
-            except StorageError:
-                # A lost checkpoint only costs recomputation after a crash.
-                runtime.note_recovery("checkpoint_skipped")
+            if has_update:
+                yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
 
-        # Relaunch before the platform kills the activation.
-        if ctx.remaining_time(started) < config.relaunch_margin_s:
-            if not checkpointed:
-                yield from runtime.kv.set(
-                    runtime.checkpoint_key(worker_id), state
+            # (5+6) barrier: report to the supervisor, wait for its release.
+            # The barrier span's self time is the genuine peer wait — the
+            # queue wait in mq.consume happens before its charge span.
+            if tracer.enabled:
+                sp_barrier = tracer.begin(
+                    "barrier", f"barrier-{t}", worker=worker_id, step=t
                 )
-            return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+            report = messages.step_done(worker_id, t, loss, has_update, outgoing.nnz)
+            if config.ft_enabled:
+                # Kept so a lost report can be re-published on resync.
+                state.last_report = report
+            yield from runtime.mq.publish(runtime.supervisor_queue, report)
+
+            if config.ft_enabled:
+                release = yield from _await_release(runtime, state, my_queue, t)
+            else:
+                release = yield from runtime.mq.consume(my_queue)
+                if messages.validate(release) != messages.STEP_COMPLETE:
+                    raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
+                if release["step"] != t:
+                    raise RuntimeError(
+                        f"worker {worker_id}: barrier for step {release['step']} "
+                        f"while at step {t}"
+                    )
+            if sp_barrier >= 0:
+                tracer.end(sp_barrier)
+                sp_barrier = NO_SPAN
+            peer_updates = []
+            for peer in release["senders"]:
+                if peer == worker_id:
+                    continue
+                peer_updates.append(
+                    (yield from runtime.kv.get(runtime.update_key(t, peer)))
+                )
+            # Fused scatter, bit-identical to applying one update at a time in
+            # sender order (see ParameterSet.apply_many).  Peers must NOT be
+            # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
+            # floats, and the convergence traces are checked bit-exactly.
+            state.params.apply_many(peer_updates)
+
+            state.step = t
+            state.active_workers = release["active"]
+
+            evicted = release["evict"]
+            if evicted == worker_id:
+                yield from _depart(ctx, runtime, state)
+                return {"worker": worker_id, "steps": t, "outcome": "evicted"}
+            if evicted is not None:
+                state.pending_replica = (t, evicted)
+
+            if release["stop"]:
+                return {"worker": worker_id, "steps": t, "outcome": "converged"}
+
+            # FT: periodic barrier checkpoint so a crashed activation resumes
+            # from the last completed step instead of from scratch.  Snapshot:
+            # the KV store holds objects by reference, and the live replica
+            # keeps mutating after the write.
+            checkpointed = False
+            ckpt_every = config.checkpoint_every
+            if ckpt_every and t % ckpt_every == 0:
+                try:
+                    yield from runtime.kv.set(
+                        runtime.checkpoint_key(worker_id), state.snapshot()
+                    )
+                    checkpointed = True
+                except StorageError:
+                    # A lost checkpoint only costs recomputation after a crash.
+                    runtime.note_recovery("checkpoint_skipped")
+
+            # Relaunch before the platform kills the activation.
+            if ctx.remaining_time(started) < config.relaunch_margin_s:
+                if not checkpointed:
+                    yield from runtime.kv.set(
+                        runtime.checkpoint_key(worker_id), state
+                    )
+                return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+        finally:
+            if sp_barrier >= 0:
+                tracer.end(sp_barrier)
+            if sp_step >= 0:
+                tracer.end(sp_step)
 
 
 def _await_release(

@@ -17,8 +17,9 @@ from ..faults import FaultInjector, FaultProfile
 from ..pricing import CostMeter
 from ..sim import Environment, RandomStreams
 from ..storage import Exchange, KVStore, MessageQueue, ObjectStore
+from ..trace.tracer import NULL_TRACER, Tracer
 
-__all__ = ["SimWorld", "build_world", "run_mlless"]
+__all__ = ["SimWorld", "build_world", "run_mlless", "run_mlless_traced"]
 
 DATA_BUCKET = "training-data"
 
@@ -35,26 +36,37 @@ class SimWorld:
     platform: FaaSPlatform
     meter: CostMeter
     faults: Optional[FaultInjector] = None
+    #: the run's span tracer (no-op unless tracing was requested)
+    tracer: object = NULL_TRACER
 
 
-def build_world(seed: int = 0, faults: Optional[FaultProfile] = None) -> SimWorld:
+def build_world(
+    seed: int = 0,
+    faults: Optional[FaultProfile] = None,
+    tracer=None,
+) -> SimWorld:
     """Fresh environment + services + FaaS platform + cost meter.
 
     ``faults`` attaches a deterministic fault injector to the platform and
     every storage service; None (or a no-op profile) builds a world whose
     event schedule is byte-identical to one without any fault machinery.
+    ``tracer`` (a :class:`~repro.trace.Tracer`) threads span tracing
+    through every service — by design it never perturbs the schedule.
     """
     env = Environment()
     streams = RandomStreams(seed=seed)
     injector = None
     if faults is not None and not faults.is_noop():
         injector = FaultInjector(faults, streams)
-    cos = ObjectStore(env, streams, faults=injector)
-    kv = KVStore(env, streams, faults=injector)
-    mq = MessageQueue(env, streams, faults=injector)
-    platform = FaaSPlatform(env, streams, faults=injector)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    cos = ObjectStore(env, streams, faults=injector, tracer=tracer)
+    kv = KVStore(env, streams, faults=injector, tracer=tracer)
+    mq = MessageQueue(env, streams, faults=injector, tracer=tracer)
+    platform = FaaSPlatform(env, streams, faults=injector, tracer=tracer)
     meter = CostMeter(faas=platform.billing)
-    return SimWorld(env, streams, cos, kv, mq, platform, meter, faults=injector)
+    return SimWorld(
+        env, streams, cos, kv, mq, platform, meter, faults=injector, tracer=tracer
+    )
 
 
 def make_runtime(world: SimWorld, config: JobConfig) -> JobRuntime:
@@ -71,16 +83,48 @@ def make_runtime(world: SimWorld, config: JobConfig) -> JobRuntime:
         batch_keys=batch_keys,
         partitions=config.dataset.partition(config.n_workers),
         faults=world.faults,
+        tracer=world.tracer,
     )
 
 
-def run_mlless(config: JobConfig, world: Optional[SimWorld] = None) -> RunResult:
+def run_mlless(
+    config: JobConfig,
+    world: Optional[SimWorld] = None,
+    tracer=None,
+) -> RunResult:
     """Run one MLLess job in a fresh (or given) simulation world."""
     if world is None:
-        world = build_world(seed=config.seed, faults=config.faults)
+        world = build_world(seed=config.seed, faults=config.faults, tracer=tracer)
     runtime = make_runtime(world, config)
     driver = MLLessDriver(world.env, world.platform, runtime, meter=world.meter)
     return driver.run()
+
+
+def run_mlless_traced(
+    config: JobConfig,
+    trace_path: Optional[str] = None,
+    world: Optional[SimWorld] = None,
+):
+    """Run one traced MLLess job; returns ``(result, tracer, world)``.
+
+    When ``trace_path`` is given, writes the Chrome trace there and the
+    JSONL dump (with billing records embedded) at ``trace_path + ".jsonl"``.
+    """
+    if world is not None:
+        tracer = world.tracer
+        if not tracer.enabled:
+            raise ValueError(
+                "run_mlless_traced needs a world built with an enabled Tracer"
+            )
+    else:
+        tracer = Tracer()
+        world = build_world(seed=config.seed, faults=config.faults, tracer=tracer)
+    result = run_mlless(config, world=world)
+    if trace_path is not None:
+        from ..trace_cli import write_run_trace
+
+        write_run_trace(tracer, trace_path, billing=world.platform.billing)
+    return result, tracer, world
 
 
 def mlless_config(

@@ -11,9 +11,9 @@ auto-tuner (on top of ISP, as in the paper's 'MLLess + All'), reporting
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .common import mlless_config, run_mlless
+from .common import mlless_config, run_mlless, run_mlless_traced
 from .report import render_table
 from .settings import make_workload
 
@@ -27,8 +27,14 @@ def fig5_autotuner(
     max_steps: int = 1200,
     seed: int = 3,
     epoch_s: float = 10.0,
+    trace_dir: Optional[str] = None,
 ) -> List[Dict]:
-    """One row per (workload, P): tuner-off vs tuner-on metrics."""
+    """One row per (workload, P): tuner-off vs tuner-on metrics.
+
+    With ``trace_dir`` set, every run additionally records a span trace —
+    Chrome JSON + JSONL per run, named
+    ``fig5-<workload>-P<p>-<base|tuner>.trace.json``.
+    """
     rows: List[Dict] = []
     for name in workload_names:
         workload = make_workload(name)
@@ -49,7 +55,16 @@ def fig5_autotuner(
                     seed=seed,
                     autotuner_kwargs={"epoch_s": epoch_s, "delta_s": epoch_s / 2},
                 )
-                results[tuner] = run_mlless(config)
+                if trace_dir is not None:
+                    label = "tuner" if tuner else "base"
+                    trace_path = (
+                        f"{trace_dir}/fig5-{name}-P{p}-{label}.trace.json"
+                    )
+                    results[tuner], _, _ = run_mlless_traced(
+                        config, trace_path=trace_path
+                    )
+                else:
+                    results[tuner] = run_mlless(config)
             off, on = results[False], results[True]
             rows.append(
                 {

@@ -44,6 +44,11 @@ class ActivationRecord:
         quanta = math.ceil(round(self.duration / BILLING_QUANTUM_S, 9))
         return quanta * BILLING_QUANTUM_S
 
+    @property
+    def gb_seconds(self) -> float:
+        """Billed GB-seconds: memory in GB times the rounded duration."""
+        return (self.memory_mb / 1024.0) * self.billed_duration
+
     def cost(self, rate_per_gb_s: float = DEFAULT_RATE_PER_GB_S) -> float:
         return (self.memory_mb / 1024.0) * self.billed_duration * rate_per_gb_s
 
@@ -62,9 +67,7 @@ class FaaSBilling:
         return sum(r.cost(self.rate_per_gb_s) for r in self.records)
 
     def total_gb_seconds(self) -> float:
-        return sum(
-            (r.memory_mb / 1024.0) * r.billed_duration for r in self.records
-        )
+        return sum(r.gb_seconds for r in self.records)
 
     def cost_by_function(self) -> Dict[str, float]:
         costs: Dict[str, float] = {}
@@ -77,6 +80,13 @@ class FaaSBilling:
 
         An activation spanning ``time`` is charged for its elapsed portion —
         this is what a "cost so far" curve (Fig. 7) needs.
+
+        Boundary semantics: a record with ``start >= time`` contributes
+        nothing (an activation starting exactly at ``time`` has not accrued
+        yet); an in-flight record (``start < time < end``) is charged as if
+        it ended at ``time``, including the minimum-quantum round-up; at
+        ``time == end`` the record is charged in full, so for any ``time``
+        past the last end the result equals :meth:`total_cost`.
         """
         total = 0.0
         for r in self.records:

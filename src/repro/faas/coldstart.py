@@ -36,5 +36,22 @@ class ColdStartModel:
             rng.lognormal(np.log(self.cold_median), self.cold_sigma)
         )
 
+    def dispatch_components(
+        self, warm: bool, rng: np.random.Generator
+    ) -> "tuple[float, float]":
+        """``(base, cold_extra)`` of the dispatch latency.
+
+        Draw order and float math match :meth:`dispatch_latency` exactly
+        (warm draw first, cold draw only when cold, summed in the same
+        order), so callers that want the split — e.g. to annotate a trace
+        span — consume the RNG identically to ones that don't.
+        """
+        base = self.warm_latency(rng)
+        if warm:
+            return base, 0.0
+        extra = float(rng.lognormal(np.log(self.cold_median), self.cold_sigma))
+        return base, extra
+
     def dispatch_latency(self, warm: bool, rng: np.random.Generator) -> float:
-        return self.warm_latency(rng) if warm else self.cold_latency(rng)
+        base, extra = self.dispatch_components(warm, rng)
+        return base + extra

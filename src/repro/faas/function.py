@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from ..sim import Environment
+from ..trace.tracer import NO_SPAN, NULL_TRACER
 from .limits import FaaSLimits
 
 __all__ = [
@@ -82,6 +83,8 @@ class InvocationContext:
         memory_mb: int,
         services: Any = None,
         compute_scale: float = 1.0,
+        tracer: Any = NULL_TRACER,
+        span_id: int = NO_SPAN,
     ):
         self.env = env
         self.platform = platform
@@ -94,6 +97,9 @@ class InvocationContext:
         #: >1.0 when a straggler fault degrades this activation's host
         self.compute_scale = compute_scale
         self.cpu_seconds_used = 0.0
+        #: observability hooks — the enclosing invoke span, if tracing
+        self.tracer = tracer
+        self.span_id = span_id
 
     @property
     def now(self) -> float:
@@ -105,7 +111,21 @@ class InvocationContext:
             raise ValueError(f"cpu_seconds must be >= 0, got {cpu_seconds}")
         wall = cpu_seconds / self.cpu_share * self.compute_scale
         self.cpu_seconds_used += cpu_seconds
-        yield self.env.timeout(wall)
+        sp = NO_SPAN
+        if self.tracer.enabled:
+            sp = self.tracer.begin(
+                "compute", "compute", cpu_s=cpu_seconds, wall_s=wall
+            )
+        try:
+            yield self.env.timeout(wall)
+        finally:
+            if sp >= 0:
+                self.tracer.end(sp)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to this activation's invoke span (no-op untraced)."""
+        if self.tracer.enabled and self.span_id >= 0:
+            self.tracer.annotate(self.span_id, **attrs)
 
     def sleep(self, seconds: float) -> Generator:
         """Idle wait (still billed by the platform — FaaS charges wall time)."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from ..sim import Environment, Interrupt, Process, RandomStreams, Resource
+from ..trace.tracer import NO_SPAN, NULL_TRACER
 from .billing import ActivationRecord, FaaSBilling
 from .coldstart import ColdStartModel
 from .function import (
@@ -75,6 +76,8 @@ class Activation:
         #: starts here, not at submission
         self.started_at = submitted_at
         self.record: Optional[ActivationRecord] = None
+        #: tracer span id of the "invoke" span (NO_SPAN when untraced)
+        self.span_id = NO_SPAN
 
     @property
     def done(self) -> bool:
@@ -106,8 +109,11 @@ class FaaSPlatform:
         services: Any = None,
         queue_when_full: bool = False,
         faults: Any = None,
+        tracer: Any = None,
     ):
         self.env = env
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(env)
         self.limits = limits
         self.cold_start = cold_start
         self.billing = billing if billing is not None else FaaSBilling()
@@ -166,10 +172,22 @@ class FaaSPlatform:
         activation = Activation(
             self, spec, activation_id, None, cold=True, submitted_at=self.env.now
         )
+        if self.tracer.enabled:
+            activation.span_id = self.tracer.begin(
+                "invoke",
+                f"{name}#{activation_id}",
+                function=name,
+                activation_id=activation_id,
+                memory_mb=spec.memory_mb,
+            )
         process = self.env.process(
             self._run_activation(spec, activation_id, payload, activation),
             name=f"{name}#{activation_id}",
         )
+        if activation.span_id >= 0:
+            # Spans opened by the activation process (coldstart, compute,
+            # storage ops) nest under the invoke span, not the caller's.
+            self.tracer.adopt(process, activation.span_id)
         activation.process = process
         self.activations.append(activation)
         # Record billing when the process finishes, whatever the outcome.
@@ -193,7 +211,10 @@ class FaaSPlatform:
             )
             activation.cold = cold
             activation.started_at = self.env.now
-            dispatch = self.cold_start.dispatch_latency(not cold, self._rng)
+            dispatch_base, cold_extra = self.cold_start.dispatch_components(
+                not cold, self._rng
+            )
+            dispatch = dispatch_base + cold_extra
             compute_scale = 1.0
             crash_after: Optional[float] = None
             if self.faults is not None:
@@ -201,7 +222,20 @@ class FaaSPlatform:
                     dispatch *= self.faults.coldstart_multiplier()
                 crash_after = self.faults.crash_delay(spec.name)
                 compute_scale = self.faults.compute_scale(spec.name)
-            yield self.env.timeout(dispatch)
+            sp = NO_SPAN
+            if self.tracer.enabled:
+                sp = self.tracer.begin(
+                    "coldstart",
+                    "dispatch",
+                    cold=cold,
+                    dispatch_s=dispatch,
+                    cold_extra_s=cold_extra,
+                )
+            try:
+                yield self.env.timeout(dispatch)
+            finally:
+                if sp >= 0:
+                    self.tracer.end(sp)
             ctx = InvocationContext(
                 self.env,
                 self,
@@ -210,10 +244,14 @@ class FaaSPlatform:
                 spec.memory_mb,
                 services=self.services,
                 compute_scale=compute_scale,
+                tracer=self.tracer,
+                span_id=activation.span_id,
             )
             body = self.env.process(
                 spec.handler(ctx, payload), name=f"{spec.name}#{activation_id}.body"
             )
+            if activation.span_id >= 0:
+                self.tracer.adopt(body, activation.span_id)
             deadline = self.env.timeout(self.limits.max_duration_s)
             racers = [body, deadline]
             crash = None
@@ -263,6 +301,14 @@ class FaaSPlatform:
         )
         activation.record = record
         self.billing.add(record)
+        if activation.span_id >= 0:
+            self.tracer.end(
+                activation.span_id,
+                cold=record.cold,
+                ok=record.ok,
+                billed_s=record.billed_duration,
+                gb_s=record.gb_seconds,
+            )
         if not process.ok:
             # The platform observed the failure; don't crash the kernel if
             # no caller is waiting (failed activations are a normal FaaS

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..sim import Environment
+from ..trace.tracer import NO_SPAN, NULL_TRACER
 
 __all__ = ["Link", "Nic", "transfer_time"]
 
@@ -44,12 +45,19 @@ class Link:
     qualitative contention behaviour the experiments rely on.
     """
 
-    def __init__(self, env: Environment, capacity_bps: float, name: str = "link"):
+    def __init__(
+        self,
+        env: Environment,
+        capacity_bps: float,
+        name: str = "link",
+        tracer=None,
+    ):
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity_bps}")
         self.env = env
         self.capacity_bps = float(capacity_bps)
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._active = 0
         self.bytes_moved = 0.0
         self.transfers = 0
@@ -71,9 +79,22 @@ class Link:
         try:
             rate = self.capacity_bps / self._active
             duration = transfer_time(size_bytes, rate)
-            yield self.env.timeout(duration)
-            self.bytes_moved += size_bytes
-            self.transfers += 1
+            sp = NO_SPAN
+            if self.tracer.enabled and size_bytes > 0:
+                sp = self.tracer.begin(
+                    "net.transfer",
+                    self.name,
+                    bytes=size_bytes,
+                    active=self._active,
+                    duration_s=duration,
+                )
+            try:
+                yield self.env.timeout(duration)
+                self.bytes_moved += size_bytes
+                self.transfers += 1
+            finally:
+                if sp >= 0:
+                    self.tracer.end(sp)
         finally:
             self._active -= 1
 

@@ -19,6 +19,10 @@ __all__ = ["Monitor", "Series", "TraceEntry"]
 #: one traced ``record()`` call: (ordinal, series name, sim time, value)
 TraceEntry = Tuple[int, str, float, float]
 
+#: sentinel distinguishing "no default given" from ``default=None`` in
+#: :meth:`Series.value_at`
+_NO_SAMPLE = object()
+
 
 @dataclass
 class Series:
@@ -53,11 +57,21 @@ class Series:
             raise ValueError(f"series {self.name!r} is empty")
         return float(np.mean(self.values))
 
-    def value_at(self, time: float) -> float:
-        """Step-function lookup: latest value recorded at or before ``time``."""
+    def value_at(self, time: float, default=_NO_SAMPLE) -> float:
+        """Step-function lookup: latest value recorded at or before ``time``.
+
+        The series is a left-closed step function: a sample at exactly
+        ``time`` counts ("at or before"), and the value holds until the
+        next sample.  Queries *before the first sample* (including any
+        query on an empty series) have no defined value: they raise
+        :class:`ValueError` unless ``default`` is given, in which case
+        ``default`` is returned as-is (``None`` is a valid default).
+        """
         times = np.asarray(self.times)
         idx = int(np.searchsorted(times, time, side="right")) - 1
         if idx < 0:
+            if default is not _NO_SAMPLE:
+                return default
             raise ValueError(f"series {self.name!r} has no sample before {time}")
         return self.values[idx]
 

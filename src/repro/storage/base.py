@@ -19,6 +19,7 @@ import numpy as np
 
 from ..net import LatencyModel, Link
 from ..sim import Environment, RandomStreams
+from ..trace.tracer import NO_SPAN, NULL_TRACER
 from .errors import TransientStorageError
 from .sizing import payload_size
 
@@ -57,6 +58,9 @@ class ServiceMetrics:
 class StorageService:
     """Base class: request timing, contention and metrics."""
 
+    #: span category prefix for traced requests ("storage.get", "mq.publish", …)
+    trace_kind = "storage"
+
     def __init__(
         self,
         env: Environment,
@@ -65,17 +69,37 @@ class StorageService:
         bandwidth_bps: float,
         name: str,
         faults=None,
+        tracer=None,
     ):
         self.env = env
         self.name = name
         self.latency = latency
-        self.link = Link(env, bandwidth_bps, name=f"{name}.link")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(env)
+        self.link = Link(env, bandwidth_bps, name=f"{name}.link", tracer=self.tracer)
         self.metrics = ServiceMetrics()
         self.faults = faults
         self._rng: np.random.Generator = streams.stream(f"storage.{name}")
 
-    def _charge(self, op: str, payload_bytes: float, inbound: bool) -> Generator:
+    def _charge(
+        self, op: str, payload_bytes: float, inbound: bool, detail=None
+    ) -> Generator:
         """Process generator: charge latency + transfer for one request."""
+        sp = NO_SPAN
+        if self.tracer.enabled:
+            attrs = {"service": self.name, "bytes": payload_bytes}
+            if detail is not None:
+                attrs["key"] = detail
+            sp = self.tracer.begin(f"{self.trace_kind}.{op}", op, **attrs)
+        try:
+            yield from self._charge_inner(op, payload_bytes, inbound)
+        finally:
+            if sp >= 0:
+                self.tracer.end(sp)
+
+    def _charge_inner(
+        self, op: str, payload_bytes: float, inbound: bool
+    ) -> Generator:
         if self.faults is not None:
             attempts = 0
             while self.faults.storage_should_fail(self.name):

@@ -39,41 +39,44 @@ class KVStore(StorageService):
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "redis",
         faults=None,
+        tracer=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
+        super().__init__(
+            env, streams, latency, bandwidth_bps, name, faults=faults, tracer=tracer
+        )
         self._data: Dict[str, Any] = {}
         self._lists: Dict[str, List[Any]] = {}
 
     # -- plain keys ------------------------------------------------------
     def set(self, key: str, value: Any) -> Generator:
-        yield from self._charge("set", self.size_of(value), inbound=True)
+        yield from self._charge("set", self.size_of(value), inbound=True, detail=key)
         self._data[key] = value
 
     def get(self, key: str) -> Generator:
         if key not in self._data:
             raise KeyNotFound(key, where=self.name)
         value = self._data[key]
-        yield from self._charge("get", self.size_of(value), inbound=False)
+        yield from self._charge("get", self.size_of(value), inbound=False, detail=key)
         return value
 
     def get_or_none(self, key: str) -> Generator:
         """GET that returns ``None`` for a missing key instead of raising."""
         value = self._data.get(key)
-        yield from self._charge("get", self.size_of(value), inbound=False)
+        yield from self._charge("get", self.size_of(value), inbound=False, detail=key)
         return value
 
     def delete(self, key: str) -> Generator:
-        yield from self._charge("delete", 0, inbound=True)
+        yield from self._charge("delete", 0, inbound=True, detail=key)
         self._data.pop(key, None)
         self._lists.pop(key, None)
 
     def exists(self, key: str) -> Generator:
-        yield from self._charge("exists", 8, inbound=False)
+        yield from self._charge("exists", 8, inbound=False, detail=key)
         return key in self._data or key in self._lists
 
     def incr(self, key: str, amount: int = 1) -> Generator:
         """Atomic integer increment; generator returns the new value."""
-        yield from self._charge("incr", 16, inbound=True)
+        yield from self._charge("incr", 16, inbound=True, detail=key)
         new = int(self._data.get(key, 0)) + amount
         self._data[key] = new
         return new
@@ -81,12 +84,12 @@ class KVStore(StorageService):
     # -- lists (update logs) ----------------------------------------------
     def rpush(self, key: str, value: Any) -> Generator:
         """Append ``value``; generator returns the new list length."""
-        yield from self._charge("rpush", self.size_of(value), inbound=True)
+        yield from self._charge("rpush", self.size_of(value), inbound=True, detail=key)
         self._lists.setdefault(key, []).append(value)
         return len(self._lists[key])
 
     def llen(self, key: str) -> Generator:
-        yield from self._charge("llen", 8, inbound=False)
+        yield from self._charge("llen", 8, inbound=False, detail=key)
         return len(self._lists.get(key, []))
 
     def lrange(self, key: str, start: int, stop: int) -> Generator:
@@ -97,7 +100,7 @@ class KVStore(StorageService):
         """
         items = self._lists.get(key, [])[start:stop]
         size = sum(self.size_of(v) for v in items) if items else 8
-        yield from self._charge("lrange", size, inbound=False)
+        yield from self._charge("lrange", size, inbound=False, detail=key)
         return items
 
     # -- synchronous introspection (no time charged) ----------------------

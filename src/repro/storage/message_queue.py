@@ -32,6 +32,8 @@ DEFAULT_BANDWIDTH_BPS = 1e9
 class MessageQueue(StorageService):
     """Named FIFO queues with timed publish and blocking consume."""
 
+    trace_kind = "mq"
+
     def __init__(
         self,
         env: Environment,
@@ -40,8 +42,11 @@ class MessageQueue(StorageService):
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "rabbitmq",
         faults=None,
+        tracer=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
+        super().__init__(
+            env, streams, latency, bandwidth_bps, name, faults=faults, tracer=tracer
+        )
         self._queues: Dict[str, Store] = {}
         self._closed: Dict[str, bool] = {}
 
@@ -65,7 +70,9 @@ class MessageQueue(StorageService):
         the publisher is always charged for the attempt either way.
         """
         store = self._store(queue)
-        yield from self._charge("publish", self.size_of(message), inbound=True)
+        yield from self._charge(
+            "publish", self.size_of(message), inbound=True, detail=queue
+        )
         if self.faults is not None:
             fate = self.faults.message_fate(queue)
             if fate == "drop":
@@ -78,7 +85,9 @@ class MessageQueue(StorageService):
         """Process generator: block until a message arrives, return it."""
         store = self._store(queue)
         message = yield store.get()
-        yield from self._charge("consume", self.size_of(message), inbound=False)
+        yield from self._charge(
+            "consume", self.size_of(message), inbound=False, detail=queue
+        )
         return message
 
     def consume_with_timeout(self, queue: str, timeout_s: float) -> Generator:
@@ -95,21 +104,23 @@ class MessageQueue(StorageService):
         if get.triggered:
             message = get.value
             yield from self._charge(
-                "consume", self.size_of(message), inbound=False
+                "consume", self.size_of(message), inbound=False, detail=queue
             )
             return message
         store.cancel_get(get)
-        yield from self._charge("poll", 8, inbound=False)
+        yield from self._charge("poll", 8, inbound=False, detail=queue)
         return None
 
     def try_consume(self, queue: str) -> Generator:
         """Non-blocking consume; returns ``None`` when the queue is empty."""
         store = self._store(queue)
         if len(store) == 0:
-            yield from self._charge("poll", 8, inbound=False)
+            yield from self._charge("poll", 8, inbound=False, detail=queue)
             return None
         message = yield store.get()
-        yield from self._charge("consume", self.size_of(message), inbound=False)
+        yield from self._charge(
+            "consume", self.size_of(message), inbound=False, detail=queue
+        )
         return message
 
     def drain(self, queue: str) -> Generator:
@@ -119,7 +130,7 @@ class MessageQueue(StorageService):
         while len(store) > 0:
             messages.append((yield store.get()))
         size = sum(self.size_of(m) for m in messages) if messages else 8
-        yield from self._charge("drain", size, inbound=False)
+        yield from self._charge("drain", size, inbound=False, detail=queue)
         return messages
 
     def close(self, queue: str) -> None:
@@ -156,10 +167,23 @@ class Exchange:
 
     def publish(self, message: Any, exclude: str = "") -> Generator:
         """Deliver ``message`` to every bound queue except ``exclude``."""
-        for queue in list(self._bindings):
-            if queue == exclude:
-                continue
-            yield from self.mq.publish(queue, message)
+        tracer = self.mq.tracer
+        sp = -1
+        if tracer.enabled:
+            sp = tracer.begin(
+                "broadcast",
+                self.name,
+                exchange=self.name,
+                queues=len(self._bindings),
+            )
+        try:
+            for queue in list(self._bindings):
+                if queue == exclude:
+                    continue
+                yield from self.mq.publish(queue, message)
+        finally:
+            if sp >= 0:
+                tracer.end(sp)
 
     def __repr__(self) -> str:
         return f"<Exchange {self.name!r} bindings={len(self._bindings)}>"

@@ -39,8 +39,11 @@ class ObjectStore(StorageService):
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         name: str = "cos",
         faults=None,
+        tracer=None,
     ):
-        super().__init__(env, streams, latency, bandwidth_bps, name, faults=faults)
+        super().__init__(
+            env, streams, latency, bandwidth_bps, name, faults=faults, tracer=tracer
+        )
         self._buckets: Dict[str, Dict[str, Any]] = {}
 
     # -- management (instantaneous control-plane calls) -----------------
@@ -60,7 +63,9 @@ class ObjectStore(StorageService):
     def put(self, bucket: str, key: str, obj: Any) -> Generator:
         """Store ``obj`` under ``bucket/key``.  Yields until durable."""
         objects = self._bucket(bucket)
-        yield from self._charge("put", self.size_of(obj), inbound=True)
+        yield from self._charge(
+            "put", self.size_of(obj), inbound=True, detail=f"{bucket}/{key}"
+        )
         objects[key] = obj
 
     def get(self, bucket: str, key: str) -> Generator:
@@ -69,20 +74,26 @@ class ObjectStore(StorageService):
         if key not in objects:
             raise KeyNotFound(key, where=f"bucket {bucket!r}")
         obj = objects[key]
-        yield from self._charge("get", self.size_of(obj), inbound=False)
+        yield from self._charge(
+            "get", self.size_of(obj), inbound=False, detail=f"{bucket}/{key}"
+        )
         return obj
 
     def delete(self, bucket: str, key: str) -> Generator:
         """Remove ``bucket/key`` (idempotent, as in S3/COS)."""
         objects = self._bucket(bucket)
-        yield from self._charge("delete", 0, inbound=True)
+        yield from self._charge(
+            "delete", 0, inbound=True, detail=f"{bucket}/{key}"
+        )
         objects.pop(key, None)
 
     def list_keys(self, bucket: str, prefix: str = "") -> Generator:
         """List keys in ``bucket`` matching ``prefix``; generator returns them."""
         objects = self._bucket(bucket)
         keys: List[str] = sorted(k for k in objects if k.startswith(prefix))
-        yield from self._charge("list", 32 * max(len(keys), 1), inbound=False)
+        yield from self._charge(
+            "list", 32 * max(len(keys), 1), inbound=False, detail=f"{bucket}/{prefix}"
+        )
         return keys
 
     # -- synchronous introspection (tests / setup, no time charged) -----

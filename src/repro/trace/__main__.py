@@ -1,0 +1,12 @@
+"""``python -m repro.trace`` — delegate to the host-side CLI.
+
+The CLI (argument parsing, file I/O, printing) lives outside the
+simulated layers in :mod:`repro.trace_cli`; this shim only forwards.
+"""
+
+import sys
+
+from ..trace_cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

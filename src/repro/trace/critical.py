@@ -1,0 +1,168 @@
+"""Per-step critical-path extraction and straggler/idle-time reporting.
+
+Under BSP every step is as slow as its slowest worker, so the job's
+critical path is, per step, the *bounding* worker — the one whose work
+phase (step start to barrier entry) finished last — plus whichever
+resource dominated that worker's step.  The two reports here answer the
+two questions behind Fig. 2/5 of the paper: *where did the time go* and
+*who was everyone waiting for*.
+
+Inputs are duck-typed: anything with a ``.spans`` list of
+:class:`~repro.trace.tracer.Span` works (a live ``Tracer`` or a
+``TraceData`` loaded from JSONL).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .tracer import Span, span_children
+
+__all__ = ["critical_path", "straggler_report", "step_spans"]
+
+
+def step_spans(trace: Any) -> Dict[int, List[Span]]:
+    """Finished worker ``step`` spans grouped by step number."""
+    by_step: Dict[int, List[Span]] = {}
+    for span in trace.spans:
+        if span.category == "step" and span.end is not None:
+            step = span.attrs.get("step")
+            if step is not None:
+                by_step.setdefault(int(step), []).append(span)
+    return by_step
+
+
+def _barrier_child(span: Span, children: Dict[int, List[Span]]) -> Optional[Span]:
+    for child in children.get(span.span_id, ()):
+        if child.category == "barrier":
+            return child
+    return None
+
+
+def _subtree_self_times(
+    span: Span,
+    children: Dict[int, List[Span]],
+    out: Dict[str, float],
+    skip_categories: tuple,
+) -> float:
+    """Self time per category over ``span``'s subtree; returns span length."""
+    end = span.end if span.end is not None else span.start
+    length = max(end - span.start, 0.0)
+    child_total = 0.0
+    for child in children.get(span.span_id, ()):
+        if child.category in skip_categories:
+            continue
+        child_total += _subtree_self_times(child, children, out, skip_categories)
+    self_time = max(length - child_total, 0.0)
+    out[span.category] = out.get(span.category, 0.0) + self_time
+    return length
+
+
+def critical_path(trace: Any) -> List[Dict[str, Any]]:
+    """One row per completed step: who bounded it, and on what.
+
+    Row keys: ``step``, ``workers``, ``bound_worker`` (last to reach the
+    barrier), ``bound_category`` (dominant self-time category of the
+    bounding worker's work phase), ``work_s`` (the bounding worker's work
+    time), ``skew_s`` (bounding minus fastest worker's work time — the
+    per-step straggler penalty BSP pays), ``barrier_s`` (mean time workers
+    then spent blocked on the release).
+    """
+    children = span_children(list(trace.spans))
+    by_step = step_spans(trace)
+    rows: List[Dict[str, Any]] = []
+    for step in sorted(by_step):
+        spans = by_step[step]
+        per_worker = []
+        for span in spans:
+            barrier = _barrier_child(span, children)
+            work_end = barrier.start if barrier is not None else span.end
+            wait = 0.0
+            if barrier is not None and barrier.end is not None:
+                barrier_children = 0.0
+                for child in children.get(barrier.span_id, ()):
+                    if child.end is not None:
+                        barrier_children += child.end - child.start
+                wait = max((barrier.end - barrier.start) - barrier_children, 0.0)
+            per_worker.append(
+                {
+                    "worker": span.attrs.get("worker"),
+                    "span": span,
+                    "work_s": max(work_end - span.start, 0.0),
+                    "wait_s": wait,
+                }
+            )
+        per_worker.sort(key=lambda w: (w["work_s"], -(w["worker"] or 0)))
+        bound = per_worker[-1]
+        fastest = per_worker[0]
+        categories: Dict[str, float] = {}
+        _subtree_self_times(bound["span"], children, categories,
+                            skip_categories=("barrier",))
+        categories.pop("step", None)  # container self time, not a resource
+        if categories:
+            bound_category = max(sorted(categories), key=lambda c: categories[c])
+        else:
+            bound_category = "compute"
+        mean_wait = sum(w["wait_s"] for w in per_worker) / len(per_worker)
+        rows.append(
+            {
+                "step": step,
+                "workers": len(per_worker),
+                "bound_worker": bound["worker"],
+                "bound_category": bound_category,
+                "work_s": round(bound["work_s"], 6),
+                "skew_s": round(bound["work_s"] - fastest["work_s"], 6),
+                "barrier_s": round(mean_wait, 6),
+            }
+        )
+    return rows
+
+
+def straggler_report(trace: Any) -> List[Dict[str, Any]]:
+    """One row per worker: totals of work, barrier wait and bounding steps.
+
+    ``idle_fraction`` is barrier wait over (work + wait): how much of the
+    worker's billed step time was spent waiting for peers — high values on
+    *other* workers point at this row's stragglers; a low value paired
+    with a high ``bounded_steps`` marks the straggler itself.
+    """
+    rows_by_worker: Dict[int, Dict[str, Any]] = {}
+    path = critical_path(trace)
+    bounded: Dict[int, int] = {}
+    for row in path:
+        worker = row["bound_worker"]
+        bounded[worker] = bounded.get(worker, 0) + 1
+
+    children = span_children(list(trace.spans))
+    by_step = step_spans(trace)
+    for step in sorted(by_step):
+        for span in by_step[step]:
+            worker = span.attrs.get("worker")
+            barrier = _barrier_child(span, children)
+            work_end = barrier.start if barrier is not None else span.end
+            wait = 0.0
+            if barrier is not None and barrier.end is not None:
+                wait = barrier.end - barrier.start
+            entry = rows_by_worker.setdefault(
+                worker,
+                {"worker": worker, "steps": 0, "work_s": 0.0, "wait_s": 0.0},
+            )
+            entry["steps"] += 1
+            entry["work_s"] += max(work_end - span.start, 0.0)
+            entry["wait_s"] += wait
+
+    report: List[Dict[str, Any]] = []
+    for worker in sorted(rows_by_worker):
+        entry = rows_by_worker[worker]
+        busy = entry["work_s"] + entry["wait_s"]
+        report.append(
+            {
+                "worker": worker,
+                "steps": entry["steps"],
+                "work_s": round(entry["work_s"], 4),
+                "wait_s": round(entry["wait_s"], 4),
+                "idle_fraction": round(entry["wait_s"] / busy, 4) if busy > 0 else 0.0,
+                "bounded_steps": bounded.get(worker, 0),
+            }
+        )
+    return report

@@ -1,0 +1,252 @@
+"""Cost attribution: split every billed GB-second across span categories.
+
+The FaaS bill is a sum over :class:`~repro.faas.billing.ActivationRecord`
+entries; a trace says what each activation *did* while it was billed.  The
+ledger joins the two: for every record it finds the matching ``invoke``
+span (matched on ``(function, activation_id)``), walks its subtree, and
+charges each span's **self time** — its length minus the length of its
+children, clipped to the record's billed window — to the span's category.
+
+Accounting identities (checked by tests and ``reconcile()``):
+
+* every second of ``record.duration`` lands in exactly one category
+  (uninstrumented gaps land in ``idle``, the invoke span's self time);
+* the 100 ms-rounding surcharge, ``billed_duration - duration``, lands in
+  ``billing.rounding``;
+* hence per record the category seconds sum to ``billed_duration``, and
+  :meth:`CostLedger.total_cost` equals ``FaaSBilling.total_cost()``
+  *exactly* (same per-record fold, same order);
+* a record with no matching invoke span (a run traced with the
+  :class:`~repro.trace.tracer.NullTracer`, or a foreign billing object)
+  is charged whole to ``unattributed``.
+
+Phases: ``dispatch`` (cold/warm dispatch latency), ``train`` (anything
+inside a worker ``step`` span), ``runtime`` (everything else inside the
+activation: checkpoint restores, drains, idle waits), ``billing`` (the
+rounding surcharge).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .tracer import Span, span_children
+
+__all__ = ["CostLedger"]
+
+#: categories whose *self time* is re-labelled: container spans measure
+#: "time not accounted to any child", i.e. idle/wait time
+_CONTAINER_CATEGORIES = ("invoke", "job")
+
+
+def _decompose(
+    span: Span,
+    lo: float,
+    hi: float,
+    children: Dict[int, List[Span]],
+    out: Dict[Tuple[str, str], float],
+    in_step: bool,
+) -> float:
+    """Charge ``span``'s subtree within ``[lo, hi]``; returns clipped length."""
+    start = span.start if span.start > lo else lo
+    raw_end = span.end if span.end is not None else hi
+    end = raw_end if raw_end < hi else hi
+    length = end - start
+    if length < 0.0:
+        length = 0.0
+    inside_step = in_step or span.category == "step"
+    child_total = 0.0
+    for child in children.get(span.span_id, ()):
+        child_total += _decompose(child, start, end, children, out, inside_step)
+    self_time = length - child_total
+    if self_time < 0.0:
+        # Float noise, or an adopted child outliving its parent's clip
+        # window; never let it produce negative dollars.
+        self_time = 0.0
+    if span.category in _CONTAINER_CATEGORIES:
+        category = "idle"
+    elif span.category == "barrier":
+        # A barrier span's children (publish/consume) keep their own
+        # categories; its self time *is* the wait.
+        category = "barrier"
+    else:
+        category = span.category
+    if span.category == "coldstart":
+        phase = "dispatch"
+    elif inside_step:
+        phase = "train"
+    else:
+        phase = "runtime"
+    key = (category, phase)
+    out[key] = out.get(key, 0.0) + self_time
+    return length
+
+
+class CostLedger:
+    """Per-category / per-phase / per-worker breakdown of the FaaS bill.
+
+    Build with :meth:`from_trace`; each row is a dict with keys
+    ``function``, ``activation_id``, ``worker``, ``category``, ``phase``,
+    ``seconds``, ``gb_s``, ``cost``.
+    """
+
+    def __init__(self, rate_per_gb_s: float, rows: List[Dict[str, Any]],
+                 record_costs: List[float]):
+        self.rate_per_gb_s = rate_per_gb_s
+        self.rows = rows
+        #: per-record billed cost, computed exactly as FaaSBilling does —
+        #: total_cost() must reproduce the bill bit-for-bit
+        self._record_costs = record_costs
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Any, billing: Any) -> "CostLedger":
+        """Join ``trace`` (anything with ``.spans``) against ``billing``."""
+        spans = list(trace.spans)
+        children = span_children(spans)
+        invoke_index: Dict[Tuple[str, int], Span] = {}
+        for span in spans:
+            if span.category == "invoke":
+                key = (span.attrs.get("function"), span.attrs.get("activation_id"))
+                invoke_index[key] = span
+
+        rate = billing.rate_per_gb_s
+        rows: List[Dict[str, Any]] = []
+        record_costs: List[float] = []
+        for record in billing.records:
+            record_costs.append(record.cost(rate))
+            gb = record.memory_mb / 1024.0
+            span = invoke_index.get((record.function, record.activation_id))
+            if span is None:
+                rows.append(
+                    _row(record, None, "unattributed", "runtime",
+                         record.billed_duration, gb, rate)
+                )
+                continue
+            seconds_by: Dict[Tuple[str, str], float] = {}
+            _decompose(span, record.start, record.end, children, seconds_by,
+                       in_step=False)
+            attributed = 0.0
+            for secs in seconds_by.values():
+                attributed += secs
+            worker = _worker_label(span, record.function)
+            for (category, phase) in sorted(seconds_by):
+                rows.append(
+                    _row(record, worker, category, phase,
+                         seconds_by[(category, phase)], gb, rate)
+                )
+            # The rounding surcharge completes the billed duration; it also
+            # absorbs the (sub-nanosecond) float noise of the subtree sum.
+            rounding = record.billed_duration - attributed
+            rows.append(_row(record, worker, "billing.rounding", "billing",
+                             rounding, gb, rate))
+        return cls(rate, rows, record_costs)
+
+    # -- totals ----------------------------------------------------------
+    def total_cost(self) -> float:
+        """The bill, exactly as ``FaaSBilling.total_cost()`` computes it."""
+        return sum(self._record_costs)
+
+    def row_cost(self) -> float:
+        """Sum of the per-row costs (equals :meth:`total_cost` up to ulps)."""
+        return sum(r["cost"] for r in self.rows)
+
+    def _grouped(self, key: str) -> Dict[Any, Dict[str, float]]:
+        groups: Dict[Any, Dict[str, float]] = {}
+        for row in self.rows:
+            bucket = groups.setdefault(
+                row[key], {"seconds": 0.0, "gb_s": 0.0, "cost": 0.0}
+            )
+            bucket["seconds"] += row["seconds"]
+            bucket["gb_s"] += row["gb_s"]
+            bucket["cost"] += row["cost"]
+        return groups
+
+    def by_category(self) -> Dict[str, Dict[str, float]]:
+        return self._grouped("category")
+
+    def by_phase(self) -> Dict[str, Dict[str, float]]:
+        return self._grouped("phase")
+
+    def by_worker(self) -> Dict[str, Dict[str, float]]:
+        return self._grouped("worker")
+
+    def by_function(self) -> Dict[str, Dict[str, float]]:
+        return self._grouped("function")
+
+    # -- reconciliation --------------------------------------------------
+    def reconcile(self) -> Dict[str, float]:
+        """Accounting identities vs. the bill; see the module docstring.
+
+        ``attributed_fraction`` is the share of billed GB-s that landed in
+        a category other than ``unattributed``.
+        """
+        total = self.total_cost()
+        row_sum = self.row_cost()
+        total_gb_s = 0.0
+        unattributed_gb_s = 0.0
+        for row in self.rows:
+            total_gb_s += row["gb_s"]
+            if row["category"] == "unattributed":
+                unattributed_gb_s += row["gb_s"]
+        attributed_gb_s = total_gb_s - unattributed_gb_s
+        fraction = attributed_gb_s / total_gb_s if total_gb_s > 0 else 1.0
+        return {
+            "billing_total_cost": total,
+            "ledger_row_cost": row_sum,
+            "abs_error": abs(total - row_sum),
+            "total_gb_s": total_gb_s,
+            "attributed_gb_s": attributed_gb_s,
+            "attributed_fraction": fraction,
+        }
+
+    def category_table(self) -> List[Dict[str, Any]]:
+        """Rows for a text table, most expensive category first."""
+        groups = self.by_category()
+        ordered = sorted(groups, key=lambda c: (-groups[c]["cost"], c))
+        total = self.row_cost()
+        table = []
+        for category in ordered:
+            bucket = groups[category]
+            share = bucket["cost"] / total if total > 0 else 0.0
+            table.append(
+                {
+                    "category": category,
+                    "seconds": round(bucket["seconds"], 4),
+                    "gb_s": round(bucket["gb_s"], 4),
+                    "cost_usd": round(bucket["cost"], 8),
+                    "share_pct": round(100.0 * share, 2),
+                }
+            )
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"<CostLedger rows={len(self.rows)} "
+            f"records={len(self._record_costs)} rate={self.rate_per_gb_s}>"
+        )
+
+
+def _worker_label(span: Span, function: str) -> str:
+    worker = span.attrs.get("worker")
+    if worker is not None:
+        return f"worker-{worker}"
+    role = span.attrs.get("role")
+    if role is not None:
+        return str(role)
+    return function
+
+
+def _row(record: Any, worker: Any, category: str, phase: str,
+         seconds: float, gb: float, rate: float) -> Dict[str, Any]:
+    gb_s = gb * seconds
+    return {
+        "function": record.function,
+        "activation_id": record.activation_id,
+        "worker": worker if worker is not None else "?",
+        "category": category,
+        "phase": phase,
+        "seconds": seconds,
+        "gb_s": gb_s,
+        "cost": gb_s * rate,
+    }

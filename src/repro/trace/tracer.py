@@ -1,0 +1,289 @@
+"""Span/event model and the recording tracer.
+
+A :class:`Tracer` records *what the simulation did* as a tree of
+sim-time-stamped spans (intervals with a category, a name and structured
+attributes) plus instant events.  The contract that makes it safe to leave
+instrumentation in the hot path permanently:
+
+**Zero perturbation.**  The tracer only ever *reads* the simulation —
+``env.now`` and ``env.active_process`` — and never creates events, yields,
+draws randomness or otherwise touches the schedule.  Enabling tracing must
+leave the determinism oracle's monitor-trace digest bit-identical; the
+invariance check in :mod:`repro.analysis.determinism` (and CI) enforces it.
+
+**Near-zero cost when off.**  The default collaborator is the
+:data:`NULL_TRACER` singleton, whose class attribute ``enabled`` is False.
+Instrumented hot paths guard with ``if tracer.enabled:`` so a run without
+tracing pays one attribute lookup per site and allocates nothing.
+
+Span nesting follows the *process structure* of the simulation: each
+simulation process carries its own stack of open spans, so concurrent
+workers produce properly separated subtrees.  A span opened in one process
+(the ``invoke`` span opened by the platform in the caller's process) can be
+installed as the root scope of a child process with :meth:`Tracer.adopt`,
+which is how handler-body spans end up nested under their activation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "span_children",
+]
+
+#: sentinel span id meaning "no span" / "no parent"
+NO_SPAN = -1
+
+
+class Span:
+    """One sim-time interval: ``[start, end]`` with category and attributes.
+
+    ``end is None`` while the span is still open (or was abandoned by a
+    crashed activation); analysis code clips open spans to the enclosing
+    activation record.  ``parent_id`` is :data:`NO_SPAN` (-1) for roots.
+    """
+
+    __slots__ = ("span_id", "parent_id", "category", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int,
+        category: str,
+        name: str,
+        start: float,
+        end: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.category = category
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Span length in simulated seconds, or None while open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "category": self.category,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return (
+            f"<Span #{self.span_id} {self.category} {self.name!r} "
+            f"[{self.start:.6f}, {end}]>"
+        )
+
+
+class TraceEvent:
+    """An instant occurrence (a decision, a fault, a scale-in order)."""
+
+    __slots__ = ("event_id", "parent_id", "category", "name", "ts", "attrs")
+
+    def __init__(
+        self,
+        event_id: int,
+        parent_id: int,
+        category: str,
+        name: str,
+        ts: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.event_id = event_id
+        self.parent_id = parent_id
+        self.category = category
+        self.name = name
+        self.ts = ts
+        self.attrs = attrs if attrs is not None else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.event_id,
+            "parent": self.parent_id,
+            "category": self.category,
+            "name": self.name,
+            "ts": self.ts,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return f"<TraceEvent #{self.event_id} {self.category} {self.name!r} @{self.ts:.6f}>"
+
+
+class NullTracer:
+    """The do-nothing tracer: every hook is a no-op returning a sentinel.
+
+    Also serves as the interface definition — :class:`Tracer` subclasses it
+    so instrumented code can hold either without isinstance checks.  Use
+    the module-level :data:`NULL_TRACER` singleton instead of constructing
+    new instances.
+    """
+
+    enabled = False
+
+    def bind(self, env: Any) -> "NullTracer":
+        """Attach to a simulation environment (no-op when disabled)."""
+        return self
+
+    def begin(self, category: str, name: str, **attrs: Any) -> int:
+        """Open a span; returns its id (:data:`NO_SPAN` when disabled)."""
+        return NO_SPAN
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        """Close a span (idempotent; :data:`NO_SPAN` is ignored)."""
+
+    def event(self, category: str, name: str, **attrs: Any) -> int:
+        """Record an instant event; returns its id (-1 when disabled)."""
+        return -1
+
+    def annotate(self, span_id: int, **attrs: Any) -> None:
+        """Merge attributes into an open or closed span."""
+
+    def adopt(self, process: Any, span_id: int) -> None:
+        """Make ``span_id`` the root scope of a (not yet started) process."""
+
+    def current_span_id(self) -> int:
+        """Innermost open span of the active process, or :data:`NO_SPAN`."""
+        return NO_SPAN
+
+
+#: the shared no-op tracer every component defaults to
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Records spans and events against a simulation environment's clock.
+
+    One tracer observes one run: bind it to the run's environment (done
+    automatically by the components it is handed to), thread it through
+    ``build_world(tracer=...)`` / ``run_mlless(tracer=...)``, and read
+    ``spans`` / ``events`` afterwards.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self._env: Any = None
+        #: per-process stacks of open span ids; the ``None`` key collects
+        #: spans opened outside any process.  Keys are only ever looked up,
+        #: never iterated, so host ``id()`` ordering cannot leak into the
+        #: trace (let alone the simulation).
+        self._scopes: Dict[Any, List[int]] = {}
+        #: open span id -> the scope stack it was pushed on, so a span can
+        #: be closed from a different process than the one that opened it
+        #: (e.g. the platform finalizer closing an ``invoke`` span)
+        self._open: Dict[int, List[int]] = {}
+
+    # -- wiring ----------------------------------------------------------
+    def bind(self, env: Any) -> "Tracer":
+        """Attach to ``env``; idempotent, but refuses a second environment."""
+        if self._env is not None and self._env is not env:
+            raise ValueError(
+                "tracer is already bound to a different environment; "
+                "use one Tracer per run"
+            )
+        self._env = env
+        return self
+
+    @property
+    def now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    def _stack(self) -> List[int]:
+        proc = self._env.active_process if self._env is not None else None
+        stack = self._scopes.get(proc)
+        if stack is None:
+            stack = self._scopes[proc] = []
+        return stack
+
+    # -- recording -------------------------------------------------------
+    def begin(self, category: str, name: str, **attrs: Any) -> int:
+        stack = self._stack()
+        parent = stack[-1] if stack else NO_SPAN
+        span = Span(len(self.spans), parent, category, name, self.now, None, attrs)
+        self.spans.append(span)
+        stack.append(span.span_id)
+        self._open[span.span_id] = stack
+        return span.span_id
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        if span_id < 0:
+            return
+        span = self.spans[span_id]
+        if span.end is None:
+            span.end = self.now
+        if attrs:
+            span.attrs.update(attrs)
+        stack = self._open.pop(span_id, None)
+        if stack is not None:
+            try:
+                stack.remove(span_id)
+            except ValueError:
+                pass
+
+    def event(self, category: str, name: str, **attrs: Any) -> int:
+        stack = self._stack()
+        parent = stack[-1] if stack else NO_SPAN
+        ev = TraceEvent(len(self.events), parent, category, name, self.now, attrs)
+        self.events.append(ev)
+        return ev.event_id
+
+    def annotate(self, span_id: int, **attrs: Any) -> None:
+        if span_id < 0:
+            return
+        self.spans[span_id].attrs.update(attrs)
+
+    def adopt(self, process: Any, span_id: int) -> None:
+        """Seed ``process``'s scope stack with ``span_id`` as its root.
+
+        Must be called before the process first runs (in practice:
+        immediately after ``env.process(...)``, while the spawner still
+        holds control).  The adopted span is *not* re-registered as open —
+        whoever opened it still owns closing it.
+        """
+        if span_id < 0:
+            return
+        self._scopes[process] = [span_id]
+
+    def current_span_id(self) -> int:
+        proc = self._env.active_process if self._env is not None else None
+        stack = self._scopes.get(proc)
+        return stack[-1] if stack else NO_SPAN
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self.spans)} events={len(self.events)}>"
+
+
+def span_children(spans: List[Span]) -> Dict[int, List[Span]]:
+    """Parent id -> children (in span-id order), for tree walks."""
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id >= 0:
+            children.setdefault(span.parent_id, []).append(span)
+    return children

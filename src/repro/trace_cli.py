@@ -1,0 +1,213 @@
+"""Host-side trace tooling: file writers and the ``repro-trace`` CLI.
+
+Lives outside the simulated layers (like :mod:`repro.cli`) because it
+opens files and prints; everything it calls in :mod:`repro.trace` is pure.
+
+Usage::
+
+    repro-trace summary  RUN.trace.json.jsonl         # text report
+    repro-trace cost     RUN.trace.json.jsonl         # cost attribution
+    repro-trace chrome   RUN.trace.json.jsonl -o t.json   # re-export
+
+    python -m repro.trace <same arguments>
+
+Traces are produced by the ``--trace PATH`` option of
+``examples/quickstart.py``, ``python -m repro.cli`` and the fig scripts:
+PATH receives the Chrome trace-event JSON (drag into
+https://ui.perfetto.dev) and ``PATH.jsonl`` the lossless dump these
+subcommands read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Optional, Sequence, Tuple
+
+from .experiments.report import render_table
+from .trace import (
+    CostLedger,
+    TraceData,
+    chrome_trace,
+    critical_path,
+    parse_jsonl,
+    straggler_report,
+    to_jsonl_lines,
+)
+
+__all__ = [
+    "main",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_run_trace",
+    "summary_text",
+]
+
+
+# -- file writers -------------------------------------------------------
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def write_chrome_trace(trace: Any, path: str) -> str:
+    """Write the Chrome trace-event JSON for ``trace`` to ``path``."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(trace), fh)
+        fh.write("\n")
+    return path
+
+
+def write_jsonl(trace: Any, path: str, billing: Any = None) -> str:
+    """Write the lossless JSONL dump (spans, events, billing records)."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for line in to_jsonl_lines(trace, billing=billing):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+def write_run_trace(trace: Any, path: str, billing: Any = None) -> Tuple[str, str]:
+    """Write both exports for one run: Chrome JSON at ``path``, JSONL next
+    to it at ``path + ".jsonl"``.  Returns the two paths."""
+    chrome_path = write_chrome_trace(trace, path)
+    jsonl_path = write_jsonl(trace, path + ".jsonl", billing=billing)
+    return chrome_path, jsonl_path
+
+
+# -- text summary -------------------------------------------------------
+
+
+def summary_text(trace: Any, billing: Any = None, max_steps: int = 12) -> str:
+    """Tables: cost by category (when billing is known), critical path,
+    stragglers."""
+    sections = []
+    if billing is not None:
+        ledger = CostLedger.from_trace(trace, billing)
+        sections.append(
+            render_table(ledger.category_table(), "cost attribution by category")
+        )
+        rec = ledger.reconcile()
+        sections.append(
+            f"bill: ${rec['billing_total_cost']:.6f}  "
+            f"ledger: ${rec['ledger_row_cost']:.6f}  "
+            f"(abs error {rec['abs_error']:.2e}; "
+            f"{100 * rec['attributed_fraction']:.2f}% of GB-s attributed)"
+        )
+    path_rows = critical_path(trace)
+    if path_rows:
+        shown = path_rows
+        if len(path_rows) > max_steps:
+            stride = max(1, len(path_rows) // max_steps)
+            shown = path_rows[::stride]
+        sections.append(
+            render_table(shown, f"critical path ({len(path_rows)} steps)")
+        )
+        sections.append(render_table(straggler_report(trace), "straggler report"))
+    if not sections:
+        sections.append("(no step spans and no billing records in this trace)")
+    return "\n\n".join(sections)
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def _load(path: str) -> TraceData:
+    with open(path) as fh:
+        return parse_jsonl(fh)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Analyse and convert saved simulation traces (.jsonl).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    p_summary = sub.add_parser(
+        "summary", help="text report: cost breakdown, critical path, stragglers"
+    )
+    p_summary.add_argument("trace", help="JSONL trace file (PATH.jsonl of --trace PATH)")
+    p_cost = sub.add_parser("cost", help="cost-attribution ledger tables")
+    p_cost.add_argument("trace")
+    p_cost.add_argument(
+        "--by",
+        choices=["category", "phase", "worker", "function"],
+        default="category",
+        help="grouping dimension (default: category)",
+    )
+    p_chrome = sub.add_parser(
+        "chrome", help="re-export as Chrome trace-event JSON (Perfetto)"
+    )
+    p_chrome.add_argument("trace")
+    p_chrome.add_argument("-o", "--output", required=True, metavar="PATH")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        data = _load(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        billing = data.billing if data.records else None
+        print(summary_text(data, billing=billing))
+        return 0
+    if args.command == "cost":
+        if not data.records:
+            print(
+                "error: trace has no billing records; re-run the experiment "
+                "with --trace to embed them",
+                file=sys.stderr,
+            )
+            return 2
+        ledger = CostLedger.from_trace(data, data.billing)
+        grouped = {
+            "category": ledger.by_category,
+            "phase": ledger.by_phase,
+            "worker": ledger.by_worker,
+            "function": ledger.by_function,
+        }[args.by]()
+        rows = [
+            {
+                args.by: key,
+                "seconds": round(grouped[key]["seconds"], 4),
+                "gb_s": round(grouped[key]["gb_s"], 4),
+                "cost_usd": round(grouped[key]["cost"], 8),
+            }
+            for key in sorted(grouped, key=lambda k: (-grouped[k]["cost"], str(k)))
+        ]
+        print(render_table(rows, f"cost attribution by {args.by}"))
+        rec = ledger.reconcile()
+        print(
+            f"\nbill total: ${rec['billing_total_cost']:.6f}  "
+            f"attributed: {100 * rec['attributed_fraction']:.2f}% of GB-s  "
+            f"(row-sum error {rec['abs_error']:.2e})"
+        )
+        return 0
+    if args.command == "chrome":
+        out = args.output
+        _ensure_parent(out)
+        with open(out, "w") as fh:
+            json.dump(chrome_trace(data), fh)
+            fh.write("\n")
+        print(f"chrome trace written to {out} (open in https://ui.perfetto.dev)")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from repro.faas import (
     FaaSPlatform,
     FunctionSpec,
 )
+from repro.faas.billing import ActivationRecord, FaaSBilling
 from repro.faults import FaultInjector, FaultProfile
 from repro.sim import Environment, RandomStreams
 
@@ -95,6 +96,75 @@ def test_injected_crash_is_billed():
         act.result()
     assert act.record is not None and not act.record.ok
     assert act.record.billed_duration > 0
+
+
+# ---------------------------------------------- cost_up_to boundaries
+def make_billing(*spans):
+    """Billing with one 1 GB record per (start, end) pair."""
+    records = [
+        ActivationRecord("f", i, 1024, start, end, cold=False, ok=True)
+        for i, (start, end) in enumerate(spans)
+    ]
+    return FaaSBilling(records=records)
+
+
+def test_gb_seconds_property():
+    r = ActivationRecord("f", 0, 2048, 0.0, 0.73, cold=False, ok=True)
+    # 2 GB * 0.8 s (0.73 rounded up to the next 100 ms quantum)
+    assert r.gb_seconds == pytest.approx(2.0 * 0.8)
+    assert r.cost(1.7e-5) == pytest.approx(r.gb_seconds * 1.7e-5)
+    billing = FaaSBilling(records=[r])
+    assert billing.total_gb_seconds() == pytest.approx(r.gb_seconds)
+
+
+def test_cost_up_to_excludes_not_yet_started():
+    billing = make_billing((10.0, 20.0))
+    assert billing.cost_up_to(5.0) == 0.0
+    # an activation starting exactly at `time` has not accrued yet
+    assert billing.cost_up_to(10.0) == 0.0
+
+
+def test_cost_up_to_in_flight_charges_elapsed_portion():
+    billing = make_billing((10.0, 20.0))
+    full = billing.records[0].cost(billing.rate_per_gb_s)
+    half = billing.cost_up_to(15.0)
+    assert 0.0 < half < full
+    # elapsed 5.0 s at 1 GB: exactly half the 10 s record
+    assert half == pytest.approx(full / 2)
+
+
+def test_cost_up_to_in_flight_pays_minimum_quantum():
+    billing = make_billing((10.0, 20.0))
+    # barely started: still billed one full 100 ms quantum
+    just_after = billing.cost_up_to(10.0 + 1e-6)
+    assert just_after == pytest.approx(1.0 * 0.1 * billing.rate_per_gb_s)
+
+
+def test_cost_up_to_rounds_partial_duration_up():
+    billing = make_billing((0.0, 10.0))
+    # 0.25 s elapsed bills as 0.3 s
+    assert billing.cost_up_to(0.25) == pytest.approx(
+        0.3 * billing.rate_per_gb_s
+    )
+    # exactly on a quantum boundary: no round-up
+    assert billing.cost_up_to(0.3) == pytest.approx(
+        0.3 * billing.rate_per_gb_s
+    )
+
+
+def test_cost_up_to_at_end_and_beyond_equals_total():
+    billing = make_billing((0.0, 1.0), (0.5, 2.25))
+    total = billing.total_cost()
+    assert billing.cost_up_to(2.25) == pytest.approx(total)
+    assert billing.cost_up_to(1e9) == pytest.approx(total)
+
+
+def test_cost_up_to_is_monotone_across_records():
+    billing = make_billing((0.0, 1.0), (0.5, 2.0), (3.0, 4.0))
+    times = [0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.05, 4.0, 5.0]
+    costs = [billing.cost_up_to(t) for t in times]
+    assert costs == sorted(costs)
+    assert costs[-1] == pytest.approx(billing.total_cost())
 
 
 def test_mixed_outcomes_all_recorded():

@@ -87,6 +87,22 @@ def test_series_value_at_step_function():
         s.value_at(-1)
 
 
+def test_series_value_at_default_before_first_sample():
+    s = Series("workers")
+    s.append(10, 20)
+    # pre-first-sample queries return the default verbatim when given...
+    assert s.value_at(5, default=24) == 24
+    assert s.value_at(5, default=None) is None  # None is a valid default
+    # ...and the default never shadows a real sample
+    assert s.value_at(10, default=99) == 20
+    assert s.value_at(50, default=99) == 20
+    # an empty series has no value at any time
+    empty = Series("empty")
+    assert empty.value_at(0, default=-1) == -1
+    with pytest.raises(ValueError, match="no sample before"):
+        empty.value_at(0)
+
+
 def test_series_mean_and_last():
     s = Series("x")
     s.append(0, 2)

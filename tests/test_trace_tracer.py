@@ -1,0 +1,247 @@
+"""Unit tests for the span/event model and the recording tracer.
+
+Covers the per-process scope stacks (nesting, adoption, cross-process
+close), the NullTracer's no-op contract, and the platform integration:
+an activation's invoke span must contain its coldstart and compute spans
+with the attributes the ledger joins on.
+"""
+
+import pytest
+
+from repro.faas import FaaSPlatform, FunctionSpec
+from repro.sim import Environment, RandomStreams
+from repro.trace import NULL_TRACER, NullTracer, Span, Tracer, span_children
+from repro.trace.tracer import NO_SPAN
+
+
+class FakeEnv:
+    """Just enough environment for the tracer: a clock and a process slot."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.active_process = None
+
+
+# ------------------------------------------------------------- NullTracer
+def test_null_tracer_is_a_disabled_noop():
+    t = NULL_TRACER
+    assert t.enabled is False
+    assert t.bind(FakeEnv()) is t
+    assert t.begin("compute", "c") == NO_SPAN
+    assert t.event("x", "y") == -1
+    assert t.current_span_id() == NO_SPAN
+    # end / annotate / adopt must swallow anything without state
+    t.end(NO_SPAN)
+    t.end(7)
+    t.annotate(3, foo=1)
+    t.adopt(object(), 5)
+
+
+def test_null_tracer_singleton_is_shared_default():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert not isinstance(NULL_TRACER, Tracer)
+    assert Tracer.enabled is True and NullTracer.enabled is False
+
+
+# ------------------------------------------------------------ span basics
+def test_span_nesting_and_parenting():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    outer = t.begin("invoke", "worker-0", function="worker-0")
+    env.now = 1.0
+    inner = t.begin("compute", "grad")
+    assert t.current_span_id() == inner
+    env.now = 3.0
+    t.end(inner)
+    assert t.current_span_id() == outer
+    env.now = 4.0
+    t.end(outer, ok=True)
+
+    s_outer, s_inner = t.spans[outer], t.spans[inner]
+    assert s_outer.parent_id == NO_SPAN
+    assert s_inner.parent_id == outer
+    assert (s_inner.start, s_inner.end) == (1.0, 3.0)
+    assert s_inner.duration == 2.0
+    assert s_outer.attrs == {"function": "worker-0", "ok": True}
+    assert s_outer.finished and s_inner.finished
+    kids = span_children(t.spans)
+    assert [c.span_id for c in kids[outer]] == [inner]
+
+
+def test_open_span_has_no_duration():
+    t = Tracer().bind(FakeEnv())
+    sid = t.begin("compute", "c")
+    span = t.spans[sid]
+    assert not span.finished
+    assert span.duration is None
+    assert span.to_dict()["end"] is None
+
+
+def test_double_end_keeps_first_end_time():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    sid = t.begin("compute", "c")
+    env.now = 2.0
+    t.end(sid)
+    env.now = 5.0
+    t.end(sid)  # idempotent: the span already closed at t=2
+    assert t.spans[sid].end == 2.0
+
+
+def test_events_parent_under_current_span():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    root_event = t.event("scale_in", "evict", victim=3)
+    sid = t.begin("step", "step-1")
+    env.now = 1.5
+    nested = t.event("filter.decision", "significance", significant=False)
+    t.end(sid)
+    assert t.events[root_event].parent_id == NO_SPAN
+    assert t.events[nested].parent_id == sid
+    assert t.events[nested].ts == 1.5
+    assert t.events[nested].attrs == {"significant": False}
+
+
+def test_annotate_merges_attrs():
+    t = Tracer().bind(FakeEnv())
+    sid = t.begin("invoke", "f", function="f")
+    t.annotate(sid, worker=2)
+    t.annotate(NO_SPAN, ignored=True)  # sentinel is a no-op
+    assert t.spans[sid].attrs == {"function": "f", "worker": 2}
+
+
+# --------------------------------------------- per-process scopes + adopt
+def test_scopes_are_per_process():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    proc_a, proc_b = object(), object()
+    env.active_process = proc_a
+    a = t.begin("step", "step-1", worker=0)
+    env.active_process = proc_b
+    b = t.begin("step", "step-1", worker=1)
+    # concurrent processes must not nest under each other
+    assert t.spans[a].parent_id == NO_SPAN
+    assert t.spans[b].parent_id == NO_SPAN
+    assert t.current_span_id() == b
+    env.active_process = proc_a
+    assert t.current_span_id() == a
+
+
+def test_adopt_seeds_child_process_scope():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    invoke = t.begin("invoke", "worker-0")
+    child = object()
+    t.adopt(child, invoke)
+    env.active_process = child
+    inner = t.begin("compute", "c")
+    assert t.spans[inner].parent_id == invoke
+    t.end(inner)
+    # the adopted span is still owned by the opener
+    assert t.spans[invoke].end is None
+    env.active_process = None
+    t.end(invoke)
+    assert t.spans[invoke].finished
+
+
+def test_cross_process_end_pops_origin_stack():
+    env = FakeEnv()
+    t = Tracer().bind(env)
+    proc = object()
+    env.active_process = proc
+    sid = t.begin("invoke", "f")
+    # the platform finalizer closes the span from a kernel callback
+    env.active_process = None
+    t.end(sid)
+    env.active_process = proc
+    assert t.current_span_id() == NO_SPAN
+
+
+def test_bind_refuses_second_environment():
+    t = Tracer()
+    env = FakeEnv()
+    t.bind(env)
+    t.bind(env)  # idempotent
+    with pytest.raises(ValueError):
+        t.bind(FakeEnv())
+
+
+def test_unbound_tracer_records_at_time_zero():
+    t = Tracer()
+    sid = t.begin("compute", "c")
+    t.end(sid)
+    assert (t.spans[sid].start, t.spans[sid].end) == (0.0, 0.0)
+
+
+def test_span_repr_and_children_helper():
+    spans = [
+        Span(0, NO_SPAN, "invoke", "f", 0.0, 2.0),
+        Span(1, 0, "compute", "c", 0.5, 1.5),
+        Span(2, 0, "storage.get", "g", 1.5),
+    ]
+    assert "open" in repr(spans[2])
+    kids = span_children(spans)
+    assert [s.span_id for s in kids[0]] == [1, 2]
+    assert NO_SPAN not in kids
+
+
+# ------------------------------------------------- platform integration
+def test_platform_invoke_produces_span_tree():
+    env = Environment()
+    tracer = Tracer()
+    platform = FaaSPlatform(env, RandomStreams(seed=0), tracer=tracer)
+
+    def handler(ctx, payload):
+        yield from ctx.compute(1.0)
+        ctx.annotate(worker=7)
+        return "done"
+
+    platform.register(FunctionSpec("worker-7", handler))
+    act = platform.invoke("worker-7")
+    env.run()
+    assert act.result() == "done"
+
+    by_cat = {}
+    for span in tracer.spans:
+        by_cat.setdefault(span.category, []).append(span)
+    assert set(by_cat) == {"invoke", "coldstart", "compute"}
+    invoke = by_cat["invoke"][0]
+    coldstart = by_cat["coldstart"][0]
+    compute = by_cat["compute"][0]
+    assert coldstart.parent_id == invoke.span_id
+    assert compute.parent_id == invoke.span_id
+    # the attributes the ledger joins on
+    assert invoke.attrs["function"] == "worker-7"
+    assert invoke.attrs["activation_id"] == act.record.activation_id
+    assert invoke.attrs["ok"] is True
+    assert invoke.attrs["worker"] == 7  # via ctx.annotate
+    assert coldstart.attrs["cold"] is True
+    assert coldstart.attrs["cold_extra_s"] > 0.0
+    assert compute.attrs["cpu_s"] == 1.0
+    # span bounds sit inside the billed window
+    assert invoke.start == act.record.start
+    assert invoke.end == act.record.end
+    assert invoke.start <= coldstart.start <= coldstart.end <= compute.start
+
+
+def test_platform_warm_invoke_has_zero_cold_extra():
+    env = Environment()
+    tracer = Tracer()
+    platform = FaaSPlatform(env, RandomStreams(seed=0), tracer=tracer)
+
+    def handler(ctx, payload):
+        yield from ctx.compute(0.2)
+
+    platform.register(FunctionSpec("f", handler))
+
+    def driver():
+        first = platform.invoke("f")
+        yield first.process
+        second = platform.invoke("f")
+        yield second.process
+
+    env.process(driver())
+    env.run()
+    colds = [s for s in tracer.spans if s.category == "coldstart"]
+    assert [s.attrs["cold"] for s in colds] == [True, False]
+    assert colds[1].attrs["cold_extra_s"] == 0.0
