@@ -5,9 +5,13 @@ workers with the ISP significance filter enabled, then prints the loss
 trajectory, the execution time, and the itemized bill.
 
     python examples/quickstart.py
+    python examples/quickstart.py --backend local
     python examples/quickstart.py --faults chaos
     python examples/quickstart.py --report /tmp/quickstart.json
     python examples/quickstart.py --trace /tmp/quickstart-trace.json
+
+``--backend local`` runs the same training logic for real: one thread
+per worker, real queues, wall-clock time — no simulation, no bill.
 
 The ``--trace`` file is Chrome trace-event JSON: drag it into
 https://ui.perfetto.dev to see every activation, step, barrier and
@@ -39,12 +43,21 @@ def build_parser():
         help="record a span trace: Chrome trace JSON at PATH (Perfetto), "
         "lossless JSONL at PATH.jsonl",
     )
+    parser.add_argument(
+        "--backend", choices=["sim", "local"], default="sim",
+        help="execution backend: 'sim' = discrete-event simulation "
+        "(default), 'local' = real threads + wall-clock time",
+    )
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     faults = None if args.faults == "off" else FAULT_PROFILES[args.faults]
+    if args.backend == "local" and faults is not None:
+        raise SystemExit("--backend local cannot inject faults (sim-only)")
+    if args.backend == "local" and args.trace is not None:
+        raise SystemExit("--backend local does not support --trace")
 
     spec = MovieLensSpec(
         n_users=500, n_movies=400, n_ratings=40_000, batch_size=500
@@ -71,10 +84,11 @@ def main(argv=None):
         from repro.trace import Tracer
 
         tracer = Tracer()
-    result = run_mlless(config, tracer=tracer)
+    result = run_mlless(config, tracer=tracer, backend=args.backend)
 
+    seconds_kind = "real wall-clock" if args.backend == "local" else "simulated"
     print(f"\nconverged: {result.converged} in {result.total_steps} steps")
-    print(f"execution time: {result.exec_time:.1f} simulated seconds")
+    print(f"execution time: {result.exec_time:.1f} {seconds_kind} seconds")
     print(f"mean step duration: {result.mean_step_duration() * 1000:.0f} ms")
 
     times, losses = result.losses()
@@ -82,10 +96,14 @@ def main(argv=None):
     for i in range(0, len(times), max(1, len(times) // 10)):
         print(f"  t={times[i] - result.started_at:7.2f}s  rmse={losses[i]:.4f}")
 
-    print(f"\ntotal cost: ${result.total_cost:.5f}")
-    for component, cost in sorted(result.meter.breakdown().items()):
-        print(f"  {component:<10s} ${cost:.5f}")
-    print(f"Perf/$: {result.perf_per_dollar:,.0f}")
+    if args.backend == "local":
+        print("\nno bill: the local backend runs on your own threads "
+              "(cost metering is sim-only)")
+    else:
+        print(f"\ntotal cost: ${result.total_cost:.5f}")
+        for component, cost in sorted(result.meter.breakdown().items()):
+            print(f"  {component:<10s} ${cost:.5f}")
+        print(f"Perf/$: {result.perf_per_dollar:,.0f}")
 
     if faults is not None:
         injected = int(result.extras.get("faults_injected", 0))
@@ -126,6 +144,7 @@ def main(argv=None):
         report = {
             "summary": result.summary(),
             "extras": {k: v for k, v in sorted(result.extras.items())},
+            "backend": args.backend,
             "faults_profile": args.faults,
             "loss_trajectory": [
                 [round(t - result.started_at, 6), loss]

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span trace (mlless only): Chrome trace JSON at PATH "
         "(Perfetto-loadable), lossless JSONL at PATH.jsonl",
     )
+    parser.add_argument(
+        "--backend", choices=["sim", "local"], default="sim",
+        help="execution backend (mlless only): 'sim' = discrete-event "
+        "simulation (default), 'local' = real threads + wall-clock time",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list workloads and exit")
     return parser
@@ -101,6 +106,18 @@ def main(argv=None) -> int:
     if args.trace is not None and args.system != "mlless":
         print("--trace is only supported with --system mlless", file=sys.stderr)
         return 2
+    if args.backend == "local":
+        if args.system != "mlless":
+            print("--backend local is only supported with --system mlless",
+                  file=sys.stderr)
+            return 2
+        if profile is not None:
+            print("--backend local cannot inject faults (use the sim backend)",
+                  file=sys.stderr)
+            return 2
+        if args.trace is not None:
+            print("--backend local does not support --trace", file=sys.stderr)
+            return 2
 
     tracer = None
     if args.system == "mlless":
@@ -114,7 +131,7 @@ def main(argv=None) -> int:
             from .trace import Tracer
 
             tracer = Tracer()
-        result = run_mlless(config, tracer=tracer)
+        result = run_mlless(config, tracer=tracer, backend=args.backend)
     elif args.system == "serverful":
         result = run_serverful_workload(
             workload, args.workers, target_loss=target,
@@ -127,11 +144,15 @@ def main(argv=None) -> int:
         )
 
     print(render_table([result.summary()], "result"))
-    print(render_table(
-        [{"component": k, "cost_usd": round(v, 6)}
-         for k, v in sorted(result.meter.breakdown().items())],
-        "cost breakdown",
-    ))
+    if args.backend == "local":
+        print(f"(local backend: {result.exec_time:.2f}s real wall-clock, "
+              "no billed platform — cost metering is sim-only)")
+    else:
+        print(render_table(
+            [{"component": k, "cost_usd": round(v, 6)}
+             for k, v in sorted(result.meter.breakdown().items())],
+            "cost breakdown",
+        ))
     fault_rows = fault_summary_rows(result)
     if fault_rows:
         print(render_table(fault_rows, f"faults ({args.faults})"))

@@ -9,9 +9,18 @@ from .history import RunResult, perf_per_dollar
 from .knee import KneedleDetector, SlopeKneeDetector
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter, threshold_at
-from .ssp import ssp_supervisor_handler, ssp_worker_handler
-from .supervisor import SupervisorState, supervisor_handler
-from .worker import worker_handler
+from .ssp import ssp_supervisor_loop, ssp_worker_loop
+from .supervisor import SupervisorState, supervisor_loop
+from .worker import train_step, worker_loop
+
+# The FaaS-handler wrappers (backend-neutral machines driven on the DES)
+# keep their historical names importable from repro.core.
+from ..exec.sim import (  # noqa: E402  (re-export, import order is deliberate)
+    ssp_supervisor_handler,
+    ssp_worker_handler,
+    supervisor_handler,
+    worker_handler,
+)
 
 __all__ = [
     "JobConfig",
@@ -37,5 +46,10 @@ __all__ = [
     "worker_handler",
     "ssp_worker_handler",
     "ssp_supervisor_handler",
+    "supervisor_loop",
+    "worker_loop",
+    "ssp_worker_loop",
+    "ssp_supervisor_loop",
+    "train_step",
     "SupervisorState",
 ]

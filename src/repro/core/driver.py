@@ -12,15 +12,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
 
+from ..exec.sim import (
+    ssp_supervisor_handler,
+    ssp_worker_handler,
+    supervisor_handler,
+    worker_handler,
+)
 from ..faas import FaaSPlatform, FunctionSpec
 from ..pricing import CostMeter
 from ..sim import Environment, Interrupt
 from ..trace.tracer import NO_SPAN
 from .history import RunResult
 from .runtime import JobRuntime
-from .ssp import ssp_supervisor_handler, ssp_worker_handler
-from .supervisor import supervisor_handler
-from .worker import worker_handler
 
 __all__ = ["MLLessDriver"]
 

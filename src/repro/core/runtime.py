@@ -1,9 +1,11 @@
 """Shared runtime context of one MLLess job.
 
 A :class:`JobRuntime` bundles everything workers and the supervisor need:
-the job config, the simulated services, queue/key naming conventions, and
-the run monitor.  It is passed (by reference — this is an in-process
-simulation) inside function payloads.
+the job config, the service handles of whichever execution backend is
+running the job (simulated COS/KV/MQ under :mod:`repro.exec.sim`, real
+in-process stores under :mod:`repro.exec.local`), queue/key naming
+conventions, and the run monitor.  It is passed by reference inside
+function payloads — both backends execute in one process.
 
 Also defines :class:`WorkerCheckpoint`, the state a worker persists to the
 KV store when it approaches the FaaS duration cap and must be relaunched
@@ -17,6 +19,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..exec.protocols import FaultSink, TracerLike
 from ..ml.optim.base import Optimizer
 from ..ml.parameters import ParameterSet
 from ..sim import Monitor
@@ -47,10 +50,10 @@ class JobRuntime:
     monitor: Monitor = field(default_factory=Monitor)
     #: the run's :class:`~repro.faults.FaultInjector`, if any — used by
     #: the training components to report recovery actions
-    faults: Optional[Any] = None
+    faults: Optional[FaultSink] = None
     #: the run's span tracer (a no-op :data:`~repro.trace.NULL_TRACER`
     #: unless the experiment was started with tracing on)
-    tracer: Any = NULL_TRACER
+    tracer: TracerLike = NULL_TRACER
 
     def note_recovery(self, kind: str) -> None:
         """Count a recovery action in the run's fault statistics."""

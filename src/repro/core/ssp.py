@@ -13,20 +13,26 @@ integrate".  This module integrates it:
 
 The significance filter composes unchanged (ISP-over-SSP); the scale-in
 auto-tuner is BSP-only (enforced by :class:`~repro.core.config.JobConfig`).
+
+SSP is a *synchronization policy* of the shared training core, not a
+parallel implementation: the per-step fetch → compute → gradient →
+filter → publish sequence is :func:`repro.core.worker.train_step`, the
+same machine the BSP worker runs.  Only what surrounds it differs — the
+staleness gate and direct peer broadcasts here, the barrier there.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator
+from typing import Any, Dict
 
 import numpy as np
 
-from ..faas import InvocationContext
+from ..exec.protocols import ExecutionContext, Machine
 from . import messages
 from .runtime import JobRuntime, WorkerCheckpoint
-from .worker import _fresh_checkpoint
+from .worker import _fresh_checkpoint, train_step
 
-__all__ = ["ssp_worker_handler", "ssp_supervisor_handler"]
+__all__ = ["ssp_worker_loop", "ssp_supervisor_loop"]
 
 
 class _SSPView:
@@ -50,17 +56,18 @@ class _SSPView:
 
 
 def _handle_message(
+    sv: Any,
     runtime: JobRuntime,
     state: WorkerCheckpoint,
     view: _SSPView,
     message: Dict[str, Any],
-) -> Generator:
+) -> Machine:
     mtype = messages.validate(message)
     if mtype == messages.UPDATE_AVAILABLE:
         peer, step = message["worker"], message["step"]
         view.peer_progress[peer] = max(view.peer_progress.get(peer, 0), step)
         if message["has_update"]:
-            update = yield from runtime.kv.get(runtime.update_key(step, peer))
+            update = yield sv.kv_get(runtime.update_key(step, peer))
             state.params.apply(update)
     elif mtype == messages.CONTROL:
         if message["command"] == "stop":
@@ -69,21 +76,17 @@ def _handle_message(
         raise RuntimeError(f"SSP worker got unexpected {mtype!r}")
 
 
-def ssp_worker_handler(
-    ctx: InvocationContext, payload: Dict[str, Any]
-) -> Generator:
-    """FaaS handler: one SSP worker."""
+def ssp_worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """One SSP worker machine."""
     runtime: JobRuntime = payload["runtime"]
     worker_id: int = payload["worker_id"]
     config = runtime.config
-    calib = config.calibration
-    model = config.model
-    started = ctx.now
+    sv = ectx.services
+    clock = ectx.clock
+    started = clock.now()
 
     if payload.get("resume"):
-        state, view = yield from runtime.kv.get(
-            runtime.checkpoint_key(worker_id)
-        )
+        state, view = yield sv.kv_get(runtime.checkpoint_key(worker_id))
     else:
         state = _fresh_checkpoint(runtime, worker_id)
         view = _SSPView(worker_id, config.n_workers)
@@ -95,16 +98,16 @@ def ssp_worker_handler(
         t = state.step + 1
 
         # Drain everything already delivered (peer updates, stop orders).
-        pending = yield from runtime.mq.drain(my_queue)
+        pending = yield sv.mq_drain(my_queue)
         for message in pending:
-            yield from _handle_message(runtime, state, view, message)
+            yield from _handle_message(sv, runtime, state, view, message)
         if view.stop:
             return {"worker": worker_id, "steps": state.step, "outcome": "stopped"}
 
         # The staleness gate: block until the slowest peer is close enough.
         while (t - 1) - view.slowest_peer_step() > config.ssp_staleness:
-            message = yield from runtime.mq.consume(my_queue)
-            yield from _handle_message(runtime, state, view, message)
+            message = yield sv.mq_consume(my_queue)
+            yield from _handle_message(sv, runtime, state, view, message)
             if view.stop:
                 return {
                     "worker": worker_id,
@@ -112,44 +115,29 @@ def ssp_worker_handler(
                     "outcome": "stopped",
                 }
 
-        # One local step: fetch, compute, optimize, filter, announce.
-        batch_idx = partition[(t - 1) % len(partition)]
-        batch = yield from runtime.cos.get(
-            runtime.bucket, runtime.batch_keys[batch_idx]
+        # One local step — the shared core, scaled by the *configured*
+        # pool size (SSP runs without the scale-in auto-tuner) — then
+        # announce the update to the peers and report to the supervisor.
+        loss, outgoing, has_update = yield from train_step(
+            ectx, runtime, state, partition, t, 1.0 / config.n_workers
         )
-        yield from ctx.compute(
-            calib.mlless_step_seconds(model.sparse_step_flops(batch))
-        )
-        loss, grad = model.gradient(state.params, batch)
-        update = state.optimizer.step(state.params, grad, t).scale(
-            1.0 / config.n_workers
-        )
-        state.params.apply(update)
-        outgoing = state.sig_filter.step(state.params, update, t)
-        has_update = not outgoing.is_empty()
-        if has_update:
-            yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
-        yield from runtime.exchange.publish(
+        yield sv.broadcast(
             messages.update_available(worker_id, t, has_update),
             exclude=my_queue,
         )
-        yield from runtime.mq.publish(
+        yield sv.mq_publish(
             runtime.supervisor_queue,
             messages.step_done(worker_id, t, loss, has_update, outgoing.nnz),
         )
         state.step = t
 
-        if ctx.remaining_time(started) < config.relaunch_margin_s:
-            yield from runtime.kv.set(
-                runtime.checkpoint_key(worker_id), (state, view)
-            )
+        if clock.remaining_time(started) < config.relaunch_margin_s:
+            yield sv.kv_set(runtime.checkpoint_key(worker_id), (state, view))
             return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
 
 
-def ssp_supervisor_handler(
-    ctx: InvocationContext, payload: Dict[str, Any]
-) -> Generator:
-    """FaaS handler: the SSP supervisor (loss aggregation + stop order).
+def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The SSP supervisor machine (loss aggregation + stop order).
 
     Collects ``step_done`` reports; a step is *complete* once every worker
     has reported it.  Completion times give the loss/step-duration series;
@@ -157,21 +145,23 @@ def ssp_supervisor_handler(
     """
     runtime: JobRuntime = payload["runtime"]
     config = runtime.config
-    started = ctx.now
+    sv = ectx.services
+    clock = ectx.clock
+    started = clock.now()
 
     if payload.get("resume"):
-        state = yield from runtime.kv.get(runtime.supervisor_checkpoint_key)
+        state = yield sv.kv_get(runtime.supervisor_checkpoint_key)
     else:
         state = {
             "reports": {},        # step -> {worker: loss}
             "completed": 0,
             "last_time": None,
-            "job_started_at": ctx.now,
+            "job_started_at": clock.now(),
         }
-        runtime.monitor.record("workers", ctx.now, config.n_workers)
+        runtime.monitor.record("workers", clock.now(), config.n_workers)
 
     while True:
-        message = yield from runtime.mq.consume(runtime.supervisor_queue)
+        message = yield sv.mq_consume(runtime.supervisor_queue)
         if messages.validate(message) != messages.STEP_DONE:
             continue
         step, worker = message["step"], message["worker"]
@@ -182,7 +172,7 @@ def ssp_supervisor_handler(
             next_step in state["reports"]
             and len(state["reports"][next_step]) == config.n_workers
         ):
-            now = ctx.now
+            now = clock.now()
             mean_loss = float(np.mean(list(state["reports"][next_step].values())))
             runtime.monitor.record("loss", now, mean_loss)
             runtime.monitor.record("loss_by_step", next_step, mean_loss)
@@ -203,7 +193,7 @@ def ssp_supervisor_handler(
             elif now - state["job_started_at"] >= config.max_time_s:
                 stop, reason = True, "max_time"
             if stop:
-                yield from runtime.exchange.publish(messages.control("stop"))
+                yield sv.broadcast(messages.control("stop"))
                 return {
                     "outcome": "finished",
                     "steps": state["completed"],
@@ -213,6 +203,6 @@ def ssp_supervisor_handler(
                 }
             next_step = state["completed"] + 1
 
-        if ctx.remaining_time(started) < config.relaunch_margin_s:
-            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, state)
+        if clock.remaining_time(started) < config.relaunch_margin_s:
+            yield sv.kv_set(runtime.supervisor_checkpoint_key, state)
             return {"outcome": "relaunch"}

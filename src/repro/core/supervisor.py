@@ -14,22 +14,27 @@ lost re-publish it), tolerates duplicate and late reports idempotently,
 checkpoints its state after every barrier, and — after a capped number of
 fruitless resyncs — abandons the missing workers so the survivors can make
 progress with a smaller pool.
+
+Like the worker, the supervisor is a **backend-neutral machine**
+(:func:`supervisor_loop`): all I/O goes through the
+:class:`~repro.exec.protocols.ExecutionContext` it is handed, so the same
+control loop runs on the simulator and on real threads.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Generator, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
 
-from ..faas import InvocationContext
+from ..exec.protocols import ExecutionContext, Machine
 from ..storage import StorageError
 from . import messages
 from .autotuner import ScaleInScheduler
 from .runtime import JobRuntime
 
-__all__ = ["supervisor_handler", "SupervisorState"]
+__all__ = ["supervisor_loop", "SupervisorState"]
 
 #: barrier releases kept for re-sending to lagging workers (steps)
 _RELEASE_WINDOW = 4
@@ -80,24 +85,22 @@ class SupervisorState:
         return 1024 + 24 * len(self.scheduler._steps) + 64 * len(self.active)
 
 
-def supervisor_handler(
-    ctx: InvocationContext, payload: Dict[str, Any]
-) -> Generator:
-    """FaaS handler: the supervisor control loop."""
+def supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The supervisor control-loop machine."""
     runtime: JobRuntime = payload["runtime"]
     config = runtime.config
-    started = ctx.now
-    ctx.annotate(role="supervisor")
+    sv = ectx.services
+    clock = ectx.clock
+    started = clock.now()
+    ectx.annotate(role="supervisor")
 
     if payload.get("resume"):
         if config.ft_enabled:
-            stored = yield from runtime.kv.get_or_none(
-                runtime.supervisor_checkpoint_key
-            )
+            stored = yield sv.kv_get_or_none(runtime.supervisor_checkpoint_key)
             if stored is None:
                 # Crashed before the first checkpoint: start over.
                 state = SupervisorState(runtime)
-                state.job_started_at = ctx.now
+                state.job_started_at = clock.now()
                 runtime.note_recovery("supervisor_fresh_restart")
             else:
                 # Snapshot so this activation's mutations never alias the
@@ -105,33 +108,31 @@ def supervisor_handler(
                 state = stored.snapshot()
                 runtime.note_recovery("supervisor_resumed")
         else:
-            state = yield from runtime.kv.get(
-                runtime.supervisor_checkpoint_key
-            )
+            state = yield sv.kv_get(runtime.supervisor_checkpoint_key)
     else:
         state = SupervisorState(runtime)
-        state.job_started_at = ctx.now
-        runtime.monitor.record("workers", ctx.now, len(state.active))
+        state.job_started_at = clock.now()
+        runtime.monitor.record("workers", clock.now(), len(state.active))
 
     barrier_timeout = config.barrier_timeout
 
     while True:
         if barrier_timeout is None:
-            message = yield from runtime.mq.consume(runtime.supervisor_queue)
+            message = yield sv.mq_consume(runtime.supervisor_queue)
         else:
-            message = yield from runtime.mq.consume_with_timeout(
+            message = yield sv.mq_consume_with_timeout(
                 runtime.supervisor_queue, barrier_timeout
             )
 
         if message is None:
-            stop = yield from _handle_barrier_timeout(ctx, runtime, state)
+            stop = yield from _handle_barrier_timeout(ectx, runtime, state)
         else:
             mtype = messages.validate(message)
             stop = False
             if mtype == messages.STEP_DONE:
-                stop = yield from _handle_step_done(ctx, runtime, state, message)
+                stop = yield from _handle_step_done(ectx, runtime, state, message)
             elif mtype == messages.DEPARTED:
-                _handle_departed(ctx, runtime, state, message)
+                _handle_departed(ectx, runtime, state, message)
         if stop:
             return {
                 "outcome": "finished",
@@ -141,30 +142,31 @@ def supervisor_handler(
                 "converged": state.stop_reason == "target",
             }
 
-        if ctx.remaining_time(started) < config.relaunch_margin_s:
+        if clock.remaining_time(started) < config.relaunch_margin_s:
             snapshot = state.snapshot() if config.ft_enabled else state
-            yield from runtime.kv.set(runtime.supervisor_checkpoint_key, snapshot)
+            yield sv.kv_set(runtime.supervisor_checkpoint_key, snapshot)
             return {"outcome": "relaunch"}
 
 
 def _handle_step_done(
-    ctx: InvocationContext,
+    ectx: ExecutionContext,
     runtime: JobRuntime,
     state: SupervisorState,
     message: Dict[str, Any],
-) -> Generator:
+) -> Machine:
     """Collect a report; release the barrier once every active worker is in.
 
     Returns True when the stop broadcast went out (job over).
     """
     config = runtime.config
+    sv = ectx.services
     step = message["step"]
     worker = message["worker"]
 
     if config.ft_enabled:
         if worker not in state.active:
             # A worker the pool already gave up on came back: halt it.
-            yield from runtime.mq.publish(
+            yield sv.mq_publish(
                 runtime.worker_queue(worker),
                 messages.step_complete(step, True, [], len(state.active)),
             )
@@ -176,34 +178,33 @@ def _handle_step_done(
             runtime.note_recovery("duplicate_report")
             release = state.releases.get(step)
             if release is not None:
-                yield from runtime.mq.publish(
-                    runtime.worker_queue(worker), release
-                )
+                yield sv.mq_publish(runtime.worker_queue(worker), release)
             return False
         if worker in state.reports.get(step, {}):
             runtime.note_recovery("duplicate_report")
 
     state.reports.setdefault(step, {})[worker] = message
     state.last_loss[worker] = message["loss"]
-    return (yield from _maybe_release_barrier(ctx, runtime, state, step))
+    return (yield from _maybe_release_barrier(ectx, runtime, state, step))
 
 
 def _maybe_release_barrier(
-    ctx: InvocationContext,
+    ectx: ExecutionContext,
     runtime: JobRuntime,
     state: SupervisorState,
     step: int,
-) -> Generator:
+) -> Machine:
     """Release barrier ``step`` if every active worker reported.
 
     Returns True when the stop broadcast went out (job over).
     """
     config = runtime.config
+    sv = ectx.services
     collected = state.reports.get(step, {})
     if set(collected) != state.active or step != state.completed_step + 1:
         return False
 
-    now = ctx.now
+    now = ectx.clock.now()
     losses = [m["loss"] for m in collected.values()]
     mean_loss = float(np.mean(losses))
     runtime.monitor.record("loss", now, mean_loss)
@@ -245,7 +246,7 @@ def _maybe_release_barrier(
             stop=stop,
             mean_loss=mean_loss,
         )
-    yield from runtime.exchange.publish(release)
+    yield sv.broadcast(release)
 
     state.completed_step = step
     del state.reports[step]
@@ -256,13 +257,13 @@ def _maybe_release_barrier(
     # Garbage-collect old update keys: once every worker has pulled the
     # updates of step t (guaranteed after the barrier of step t+2), their
     # KV entries are dead weight.  One core supervisor attribution (§3.1:
-    # "among other tasks").  Deletes run as a detached process so they
-    # never delay the next barrier.
+    # "among other tasks").  Deletes run detached (a DES process in the
+    # simulator, a daemon thread locally) so they never delay the barrier.
     state.gc_backlog[step] = [runtime.update_key(step, w) for w in senders]
     expired = [s for s in state.gc_backlog if s <= step - 2]
     dead_keys = [k for s in expired for k in state.gc_backlog.pop(s)]
     if dead_keys:
-        ctx.env.process(_gc_keys(runtime, dead_keys), name="kv-gc")
+        ectx.spawner.spawn(_gc_keys(sv, runtime, dead_keys), name="kv-gc")
 
     if config.ft_enabled:
         state.releases[step] = release
@@ -278,9 +279,7 @@ def _maybe_release_barrier(
     ckpt_every = config.checkpoint_every
     if ckpt_every and step % ckpt_every == 0:
         try:
-            yield from runtime.kv.set(
-                runtime.supervisor_checkpoint_key, state.snapshot()
-            )
+            yield sv.kv_set(runtime.supervisor_checkpoint_key, state.snapshot())
         except StorageError:
             # A lost checkpoint is survivable (we resume one barrier
             # earlier); a dead supervisor is not.
@@ -289,16 +288,17 @@ def _maybe_release_barrier(
 
 
 def _handle_barrier_timeout(
-    ctx: InvocationContext,
+    ectx: ExecutionContext,
     runtime: JobRuntime,
     state: SupervisorState,
-) -> Generator:
+) -> Machine:
     """No message within the barrier timeout: chase the missing workers.
 
     Returns True when the job is over (everyone abandoned, or the barrier
     released after shrinking the pool).
     """
     config = runtime.config
+    sv = ectx.services
     step = state.completed_step + 1
     collected = state.reports.get(step, {})
     missing = sorted(state.active - set(collected))
@@ -310,7 +310,7 @@ def _handle_barrier_timeout(
     if state.resyncs_this_step <= config.max_resyncs_per_step:
         release = state.releases.get(state.completed_step)
         for worker in missing:
-            yield from runtime.mq.publish(
+            yield sv.mq_publish(
                 runtime.worker_queue(worker), messages.resync(step, release)
             )
         runtime.note_recovery("resync")
@@ -324,17 +324,17 @@ def _handle_barrier_timeout(
         )
     for worker in missing:
         state.active.discard(worker)
-        runtime.exchange.unbind(runtime.worker_queue(worker))
+        sv.unbind(runtime.worker_queue(worker))
         state.scheduler.notify_evicted()
         runtime.note_recovery("worker_abandoned")
-    runtime.monitor.record("workers", ctx.now, len(state.active))
+    runtime.monitor.record("workers", ectx.clock.now(), len(state.active))
     state.resyncs_this_step = 0
     if not state.active:
         state.stop_reason = "abandoned"
         if state.last_loss:
             state.final_loss = float(np.mean(list(state.last_loss.values())))
         return True
-    return (yield from _maybe_release_barrier(ctx, runtime, state, step))
+    return (yield from _maybe_release_barrier(ectx, runtime, state, step))
 
 
 def _stop_condition(config, state, step, mean_loss, now):
@@ -349,14 +349,14 @@ def _stop_condition(config, state, step, mean_loss, now):
     return False, ""
 
 
-def _gc_keys(runtime: JobRuntime, keys: List[str]) -> Generator:
+def _gc_keys(sv: Any, runtime: JobRuntime, keys: List[str]) -> Machine:
     """Detached background deletion of consumed update keys."""
     try:
         for key in keys:
-            yield from runtime.kv.delete(key)
+            yield sv.kv_delete(key)
     except StorageError:
-        # Detached process: an injected storage error here must not crash
-        # the kernel.  Leaked keys are only garbage, not corruption.
+        # Detached machine: an injected storage error here must not crash
+        # the backend.  Leaked keys are only garbage, not corruption.
         runtime.note_recovery("gc_abandoned")
 
 
@@ -374,14 +374,14 @@ def _pick_victim(state: SupervisorState) -> Optional[int]:
 
 
 def _handle_departed(
-    ctx: InvocationContext,
+    ectx: ExecutionContext,
     runtime: JobRuntime,
     state: SupervisorState,
     message: Dict[str, Any],
 ) -> None:
     worker = message["worker"]
-    runtime.exchange.unbind(runtime.worker_queue(worker))
+    ectx.services.unbind(runtime.worker_queue(worker))
     state.scheduler.notify_evicted()
     if state.pending_eviction == worker:
         state.pending_eviction = None
-    runtime.monitor.record("workers", ctx.now, len(state.active))
+    runtime.monitor.record("workers", ectx.clock.now(), len(state.active))

@@ -5,8 +5,8 @@ Each worker keeps a local replica of the model and repeats, per step:
 1. merge a departed peer's replica if an eviction completed last step
    (model averaging, §4.2 "Eviction policy");
 2. fetch its next mini-batch from the object store;
-3. compute the local gradient (simulated CPU time from the calibrated
-   sparse-kernel flop model, real numpy arithmetic);
+3. compute the local gradient (CPU time charged through the backend's
+   ``compute`` service, real numpy arithmetic);
 4. run the optimizer, apply the update locally, and push the
    *significant* part of the accumulated update to the KV store
    (BSP pushes everything — v = 0);
@@ -18,22 +18,31 @@ When the activation nears the platform's 10-minute cap, the worker
 checkpoints its state to the KV store and returns a relaunch marker; the
 driver re-invokes it as a fresh activation that resumes from the
 checkpoint.
+
+The worker is a **backend-neutral machine**: a plain-Python generator
+that performs all I/O by yielding :data:`~repro.exec.protocols.ServiceCall`
+tokens minted by its :class:`~repro.exec.protocols.ExecutionContext` —
+never DES events, sockets, or the host clock directly.  The same machine
+runs bit-identically on the simulator (:mod:`repro.exec.sim`) and for
+real on threads (:mod:`repro.exec.local`).  Steps 2–4 live in
+:func:`train_step`, which the SSP worker (:mod:`repro.core.ssp`) reuses —
+BSP and SSP differ only in synchronization policy, not in the step core.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator
+from typing import Any, Dict, List
 
 import numpy as np
 
-from ..faas import InvocationContext
+from ..exec.protocols import ExecutionContext, Machine
 from ..storage import StorageError
 from ..trace.tracer import NO_SPAN
 from . import messages
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter
 
-__all__ = ["worker_handler"]
+__all__ = ["worker_loop", "train_step"]
 
 #: how long a worker polls for a departed peer's replica before giving up
 #: (FT mode only — the peer may have crashed before storing it)
@@ -59,22 +68,74 @@ def _fresh_checkpoint(runtime: JobRuntime, worker_id: int) -> WorkerCheckpoint:
     )
 
 
-def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator:
-    """FaaS handler: run training steps until stop/evict/relaunch."""
+def train_step(
+    ectx: ExecutionContext,
+    runtime: JobRuntime,
+    state: WorkerCheckpoint,
+    partition: List[int],
+    t: int,
+    scale: float,
+) -> Machine:
+    """One local training step, shared by the BSP and SSP workers.
+
+    Fetch the next mini-batch → charge compute → gradient → optimizer
+    step scaled by ``scale`` (gradient averaging, §3.2) → apply locally →
+    significance-filter → publish the significant part to the KV store.
+
+    ``scale`` is the only algorithmic knob the synchronization policies
+    disagree on: BSP divides by the *current* pool size (it shrinks under
+    scale-in), SSP by the configured pool size (fixed — no auto-tuner).
+
+    Returns ``(loss, outgoing, has_update)``.
+    """
+    sv = ectx.services
+    config = runtime.config
+    model = config.model
+    worker_id = state.worker_id
+
+    batch_idx = partition[(t - 1) % len(partition)]
+    batch = yield sv.cos_get(runtime.bucket, runtime.batch_keys[batch_idx])
+
+    # Local gradient — real arithmetic; CPU time charged via the backend
+    # (simulated seconds from the calibrated flop model, or genuinely
+    # elapsed wall time in the local backend).
+    yield sv.compute(
+        config.calibration.mlless_step_seconds(model.sparse_step_flops(batch))
+    )
+    loss, grad = model.gradient(state.params, batch)
+
+    update = state.optimizer.step(state.params, grad, t).scale(scale)
+    state.params.apply(update)
+    outgoing = state.sig_filter.step(state.params, update, t)
+    has_update = not outgoing.is_empty()
+    if ectx.tracer.enabled:
+        ectx.tracer.event(
+            "filter.decision",
+            "significance",
+            worker=worker_id,
+            step=t,
+            significant=has_update,
+            nnz=int(outgoing.nnz),
+        )
+    if has_update:
+        yield sv.kv_set(runtime.update_key(t, worker_id), outgoing)
+    return loss, outgoing, has_update
+
+
+def worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The BSP/ISP worker machine: train until stop/evict/relaunch."""
     runtime: JobRuntime = payload["runtime"]
     worker_id: int = payload["worker_id"]
     config = runtime.config
-    calib = config.calibration
-    model = config.model
-    started = ctx.now
-    tracer = ctx.tracer
-    ctx.annotate(worker=worker_id, role="worker")
+    sv = ectx.services
+    clock = ectx.clock
+    started = clock.now()
+    tracer = ectx.tracer
+    ectx.annotate(worker=worker_id, role="worker")
 
     if payload.get("resume"):
         if config.ft_enabled:
-            stored = yield from runtime.kv.get_or_none(
-                runtime.checkpoint_key(worker_id)
-            )
+            stored = yield sv.kv_get_or_none(runtime.checkpoint_key(worker_id))
             if stored is None:
                 # Crashed before the first checkpoint: start over.
                 state = _fresh_checkpoint(runtime, worker_id)
@@ -85,9 +146,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
                 state = stored.snapshot()
                 runtime.note_recovery("worker_resumed")
         else:
-            state = yield from runtime.kv.get(
-                runtime.checkpoint_key(worker_id)
-            )
+            state = yield sv.kv_get(runtime.checkpoint_key(worker_id))
     else:
         state = _fresh_checkpoint(runtime, worker_id)
 
@@ -103,39 +162,13 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
         try:
             # (1) pending reintegration of an evicted peer's replica.
             if state.pending_replica is not None:
-                yield from _reintegrate(ctx, runtime, state)
+                yield from _reintegrate(ectx, runtime, state)
 
-            # (2) fetch the next mini-batch of this worker's partition.
-            batch_idx = partition[(t - 1) % len(partition)]
-            batch = yield from runtime.cos.get(
-                runtime.bucket, runtime.batch_keys[batch_idx]
+            # (2–4) the shared step core: fetch, compute, optimize,
+            # filter, publish — scaled by the *current* pool size.
+            loss, outgoing, has_update = yield from train_step(
+                ectx, runtime, state, partition, t, 1.0 / state.active_workers
             )
-
-            # (3) local gradient — real arithmetic, simulated CPU time.
-            yield from ctx.compute(
-                calib.mlless_step_seconds(model.sparse_step_flops(batch))
-            )
-            loss, grad = model.gradient(state.params, batch)
-
-            # (4) optimize, scale by the pool size (gradient averaging, §3.2),
-            # apply locally, filter, publish the significant part.
-            update = state.optimizer.step(state.params, grad, t).scale(
-                1.0 / state.active_workers
-            )
-            state.params.apply(update)
-            outgoing = state.sig_filter.step(state.params, update, t)
-            has_update = not outgoing.is_empty()
-            if tracer.enabled:
-                tracer.event(
-                    "filter.decision",
-                    "significance",
-                    worker=worker_id,
-                    step=t,
-                    significant=has_update,
-                    nnz=int(outgoing.nnz),
-                )
-            if has_update:
-                yield from runtime.kv.set(runtime.update_key(t, worker_id), outgoing)
 
             # (5+6) barrier: report to the supervisor, wait for its release.
             # The barrier span's self time is the genuine peer wait — the
@@ -148,12 +181,12 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
             if config.ft_enabled:
                 # Kept so a lost report can be re-published on resync.
                 state.last_report = report
-            yield from runtime.mq.publish(runtime.supervisor_queue, report)
+            yield sv.mq_publish(runtime.supervisor_queue, report)
 
             if config.ft_enabled:
-                release = yield from _await_release(runtime, state, my_queue, t)
+                release = yield from _await_release(sv, runtime, state, my_queue, t)
             else:
-                release = yield from runtime.mq.consume(my_queue)
+                release = yield sv.mq_consume(my_queue)
                 if messages.validate(release) != messages.STEP_COMPLETE:
                     raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
                 if release["step"] != t:
@@ -168,9 +201,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
             for peer in release["senders"]:
                 if peer == worker_id:
                     continue
-                peer_updates.append(
-                    (yield from runtime.kv.get(runtime.update_key(t, peer)))
-                )
+                peer_updates.append((yield sv.kv_get(runtime.update_key(t, peer))))
             # Fused scatter, bit-identical to applying one update at a time in
             # sender order (see ParameterSet.apply_many).  Peers must NOT be
             # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
@@ -182,7 +213,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
 
             evicted = release["evict"]
             if evicted == worker_id:
-                yield from _depart(ctx, runtime, state)
+                yield from _depart(sv, runtime, state)
                 return {"worker": worker_id, "steps": t, "outcome": "evicted"}
             if evicted is not None:
                 state.pending_replica = (t, evicted)
@@ -198,7 +229,7 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
             ckpt_every = config.checkpoint_every
             if ckpt_every and t % ckpt_every == 0:
                 try:
-                    yield from runtime.kv.set(
+                    yield sv.kv_set(
                         runtime.checkpoint_key(worker_id), state.snapshot()
                     )
                     checkpointed = True
@@ -207,11 +238,9 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
                     runtime.note_recovery("checkpoint_skipped")
 
             # Relaunch before the platform kills the activation.
-            if ctx.remaining_time(started) < config.relaunch_margin_s:
+            if clock.remaining_time(started) < config.relaunch_margin_s:
                 if not checkpointed:
-                    yield from runtime.kv.set(
-                        runtime.checkpoint_key(worker_id), state
-                    )
+                    yield sv.kv_set(runtime.checkpoint_key(worker_id), state)
                 return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
         finally:
             if sp_barrier >= 0:
@@ -221,18 +250,19 @@ def worker_handler(ctx: InvocationContext, payload: Dict[str, Any]) -> Generator
 
 
 def _await_release(
+    sv: Any,
     runtime: JobRuntime,
     state: WorkerCheckpoint,
     my_queue: str,
     t: int,
-) -> Generator:
+) -> Machine:
     """FT barrier wait: tolerate stale releases, duplicates and resyncs.
 
     Returns the ``step_complete`` message for step ``t``.
     """
     worker_id = state.worker_id
     while True:
-        message = yield from runtime.mq.consume(my_queue)
+        message = yield sv.mq_consume(my_queue)
         mtype = messages.validate(message)
         if mtype == messages.STEP_COMPLETE:
             if message["step"] == t:
@@ -257,17 +287,15 @@ def _await_release(
                 and state.last_report["step"] == t
             ):
                 # The supervisor never saw our report: re-publish it.
-                yield from runtime.mq.publish(
-                    runtime.supervisor_queue, state.last_report
-                )
+                yield sv.mq_publish(runtime.supervisor_queue, state.last_report)
                 runtime.note_recovery("report_republished")
             continue
         raise RuntimeError(f"worker {worker_id}: unexpected {message!r}")
 
 
 def _reintegrate(
-    ctx: InvocationContext, runtime: JobRuntime, state: WorkerCheckpoint
-) -> Generator:
+    ectx: ExecutionContext, runtime: JobRuntime, state: WorkerCheckpoint
+) -> Machine:
     """Merge a departed peer's replica by model averaging (for v > 0)."""
     evict_step, peer = state.pending_replica
     state.pending_replica = None
@@ -275,28 +303,27 @@ def _reintegrate(
         # BSP replicas are exact copies — averaging is a no-op (Corollary
         # in Appendix A), so the one-shot synchronization is skipped.
         return
+    sv = ectx.services
     key = runtime.replica_key(evict_step, peer)
     # The replica may not be stored yet; poll with short waits.  With FT
     # on, the departed peer may have crashed before storing it: give up
     # after a deadline instead of polling forever.
-    deadline = ctx.now + _REINTEGRATE_DEADLINE_S
-    while not (yield from runtime.kv.exists(key)):
-        if runtime.config.ft_enabled and ctx.now >= deadline:
+    deadline = ectx.clock.now() + _REINTEGRATE_DEADLINE_S
+    while not (yield sv.kv_exists(key)):
+        if runtime.config.ft_enabled and ectx.clock.now() >= deadline:
             runtime.note_recovery("reintegration_skipped")
             return
-        yield ctx.env.timeout(0.01)
-    replica = yield from runtime.kv.get(key)
+        yield sv.sleep(0.01)
+    replica = yield sv.kv_get(key)
     state.params.average_with(replica)
 
 
-def _depart(
-    ctx: InvocationContext, runtime: JobRuntime, state: WorkerCheckpoint
-) -> Generator:
+def _depart(sv: Any, runtime: JobRuntime, state: WorkerCheckpoint) -> Machine:
     """Store the local replica, notify the supervisor, terminate."""
     key = runtime.replica_key(state.step, state.worker_id)
     if runtime.config.significance_v > 0 and runtime.config.reintegrate_on_evict:
-        yield from runtime.kv.set(key, state.params)
-    yield from runtime.mq.publish(
+        yield sv.kv_set(key, state.params)
+    yield sv.mq_publish(
         runtime.supervisor_queue,
         messages.departed(state.worker_id, state.step, key),
     )

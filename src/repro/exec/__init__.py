@@ -1,0 +1,39 @@
+"""Pluggable execution backends for the backend-neutral training core.
+
+The machines in :mod:`repro.core` yield opaque service-call tokens; a
+backend mints the tokens and resolves them:
+
+* :mod:`repro.exec.sim` — the discrete-event simulator (bit-identical to
+  driving the DES directly; the default everywhere).
+* :mod:`repro.exec.local` — real threads, real queues, in-memory stores,
+  wall-clock time.  The repo's first non-simulated execution path.
+
+Only the contract (:mod:`repro.exec.protocols`) is re-exported here; the
+backends are imported explicitly (``repro.exec.sim`` / ``repro.exec.local``)
+so that importing the contract from :mod:`repro.core` never drags in a
+backend and its dependencies.
+"""
+
+from .protocols import (
+    Clock,
+    ExecutionContext,
+    FaultSink,
+    Machine,
+    RecoveryStats,
+    ServiceCall,
+    Services,
+    Spawner,
+    TracerLike,
+)
+
+__all__ = [
+    "ServiceCall",
+    "Machine",
+    "Services",
+    "Clock",
+    "Spawner",
+    "ExecutionContext",
+    "RecoveryStats",
+    "FaultSink",
+    "TracerLike",
+]

@@ -1,0 +1,463 @@
+"""Local execution backend: real threads, real queues, wall-clock time.
+
+The repo's first non-simulated execution path.  The *same* training
+machines that run on the DES (:mod:`repro.core.worker`,
+:mod:`repro.core.supervisor`, :mod:`repro.core.ssp`) run here on one OS
+thread per role, exchanging messages through real ``queue.Queue`` FIFOs
+and sharing lock-protected in-memory stores.  Gradients are the same real
+numpy arithmetic as everywhere else — here it simply takes however long
+it takes, and the :class:`~repro.core.history.RunResult` reports genuine
+elapsed seconds.
+
+Token protocol: a :class:`LocalServices` method returns a **blocking
+closure**; :func:`drive` calls it and feeds the result (or throws the
+exception) back into the machine.  Blocking a closure blocks only its
+role's thread — exactly the semantics of a worker blocking on a barrier.
+
+Wall-clock reads (``time.monotonic``, ``time.sleep``) are *legal in this
+module only* — it is deliberately left out of sim-lint's
+``simulated-layers`` (see ``pyproject.toml``), while everything under
+``repro/exec/sim.py`` and the core machines remain lint-enforced pure.
+
+What this backend does **not** do:
+
+* fault injection — the injector samples from the simulation's RNG
+  streams and steers simulated time; :func:`run_local_job` rejects
+  configs with a non-noop fault profile;
+* cost metering — there is no billed platform; the result carries an
+  empty :class:`~repro.pricing.CostMeter` (total cost 0.0);
+* bit-reproducible *schedules* — message arrival order depends on OS
+  scheduling, so supervisor-side mean-loss floats may differ at ulp
+  level between runs.  Each worker's parameter evolution is still
+  deterministic (peer updates are applied in sorted sender order), so
+  the final loss matches the simulator to tight tolerance — enforced by
+  ``tests/exec/test_cross_backend.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from queue import Empty, Queue
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.history import RunResult
+from ..core.runtime import JobRuntime
+from ..core.ssp import ssp_supervisor_loop, ssp_worker_loop
+from ..core.supervisor import supervisor_loop
+from ..core.worker import worker_loop
+from ..pricing import CostMeter
+from ..sim import Monitor
+from ..storage.errors import BucketNotFound, KeyNotFound, StorageError
+from .protocols import ExecutionContext, Machine
+
+__all__ = [
+    "LocalClock",
+    "LocalObjectStore",
+    "LocalKVStore",
+    "LocalMessageQueue",
+    "LocalExchange",
+    "LocalServices",
+    "LocalSpawner",
+    "LocalExecutionContext",
+    "drive",
+    "run_local_job",
+    "DATA_BUCKET",
+]
+
+DATA_BUCKET = "training-data"
+
+#: upper bound on any single blocking consume — a deadlocked run fails
+#: loudly with a StorageError instead of hanging the process forever
+_CONSUME_DEADLINE_S = 120.0
+
+#: after the supervisor finishes, how long to wait for worker threads
+_WORKER_DRAIN_GRACE_S = 30.0
+
+
+def drive(machine: Machine) -> Any:
+    """Run a machine to completion, resolving each token as a real call.
+
+    The local counterpart of :func:`repro.exec.sim.drive`: same feedback
+    loop, but tokens are blocking closures executed on this thread.
+    """
+    value: Any = None
+    pending: Any = None
+    while True:
+        try:
+            if pending is not None:
+                error, pending = pending, None
+                call = machine.throw(error)
+            else:
+                call = machine.send(value)
+        except StopIteration as stop:
+            return stop.value
+        try:
+            value = call()
+        except Exception as error:  # delivered into the machine
+            value = None
+            pending = error
+
+
+class LocalClock:
+    """Wall-clock seconds since backend start; real activation cap."""
+
+    def __init__(self, max_duration_s: float = 600.0):
+        self.max_duration_s = max_duration_s
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def remaining_time(self, started_at: float) -> float:
+        return self.max_duration_s - (self.now() - started_at)
+
+
+class LocalObjectStore:
+    """Bucketed in-memory object store (the COS stand-in)."""
+
+    def __init__(self):
+        self._buckets: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+
+    def preload(self, bucket: str, key: str, obj: Any) -> None:
+        """Install an object synchronously (dataset staging)."""
+        with self._lock:
+            self._buckets.setdefault(bucket, {})[key] = obj
+
+    def get(self, bucket: str, key: str) -> Any:
+        with self._lock:
+            if bucket not in self._buckets:
+                raise BucketNotFound(bucket)
+            objects = self._buckets[bucket]
+            if key not in objects:
+                raise KeyNotFound(key, where=f"local-cos/{bucket}")
+            return objects[key]
+
+
+class LocalKVStore:
+    """Lock-protected dict with the simulated KV store's semantics."""
+
+    def __init__(self):
+        self._data: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            if key not in self._data:
+                raise KeyNotFound(key, where="local-kv")
+            return self._data[key]
+
+    def get_or_none(self, key: str) -> Optional[Any]:
+        with self._lock:
+            return self._data.get(key)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+class LocalMessageQueue:
+    """Named FIFO queues over ``queue.Queue`` (the RabbitMQ stand-in)."""
+
+    def __init__(self):
+        self._queues: Dict[str, Queue] = {}
+        self._lock = threading.RLock()
+
+    def declare(self, name: str) -> None:
+        with self._lock:
+            self._queues.setdefault(name, Queue())
+
+    def _queue(self, name: str) -> Queue:
+        with self._lock:
+            if name not in self._queues:
+                raise StorageError(f"queue {name!r} was never declared")
+            return self._queues[name]
+
+    def publish(self, name: str, message: Dict[str, Any]) -> None:
+        self._queue(name).put(message)
+
+    def consume(self, name: str) -> Dict[str, Any]:
+        """Blocking consume, bounded so deadlocks fail instead of hanging."""
+        try:
+            return self._queue(name).get(timeout=_CONSUME_DEADLINE_S)
+        except Empty:
+            raise StorageError(
+                f"consume on {name!r} exceeded the {_CONSUME_DEADLINE_S:.0f}s "
+                "local-backend deadline (deadlocked run?)"
+            ) from None
+
+    def consume_with_timeout(
+        self, name: str, timeout_s: float
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            return self._queue(name).get(timeout=timeout_s)
+        except Empty:
+            return None
+
+    def drain(self, name: str) -> List[Dict[str, Any]]:
+        q = self._queue(name)
+        out: List[Dict[str, Any]] = []
+        while True:
+            try:
+                out.append(q.get_nowait())
+            except Empty:
+                return out
+
+
+class LocalExchange:
+    """Fan-out exchange over the local message queues."""
+
+    def __init__(self, mq: LocalMessageQueue, name: str = "local-broadcast"):
+        self.mq = mq
+        self.name = name
+        self._bindings: List[str] = []
+        self._lock = threading.RLock()
+
+    def bind(self, queue: str) -> None:
+        with self._lock:
+            if queue not in self._bindings:
+                self._bindings.append(queue)
+
+    def unbind(self, queue: str) -> None:
+        with self._lock:
+            if queue in self._bindings:
+                self._bindings.remove(queue)
+
+    def bindings(self) -> List[str]:
+        with self._lock:
+            return list(self._bindings)
+
+    def publish(self, message: Dict[str, Any], exclude: str = "") -> None:
+        for queue in self.bindings():
+            if queue != exclude:
+                self.mq.publish(queue, message)
+
+
+class LocalServices:
+    """:class:`~repro.exec.protocols.Services` over the local stores.
+
+    Every data-plane method returns a zero-argument closure; the result
+    materializes when :func:`drive` calls it on the role's thread.
+    """
+
+    __slots__ = ("cos", "kv", "mq", "exchange")
+
+    def __init__(
+        self,
+        cos: LocalObjectStore,
+        kv: LocalKVStore,
+        mq: LocalMessageQueue,
+        exchange: LocalExchange,
+    ):
+        self.cos = cos
+        self.kv = kv
+        self.mq = mq
+        self.exchange = exchange
+
+    # -- object store ----------------------------------------------------
+    def cos_get(self, bucket: str, key: str) -> Callable[[], Any]:
+        return lambda: self.cos.get(bucket, key)
+
+    # -- KV store --------------------------------------------------------
+    def kv_set(self, key: str, value: Any) -> Callable[[], None]:
+        return lambda: self.kv.set(key, value)
+
+    def kv_get(self, key: str) -> Callable[[], Any]:
+        return lambda: self.kv.get(key)
+
+    def kv_get_or_none(self, key: str) -> Callable[[], Optional[Any]]:
+        return lambda: self.kv.get_or_none(key)
+
+    def kv_delete(self, key: str) -> Callable[[], None]:
+        return lambda: self.kv.delete(key)
+
+    def kv_exists(self, key: str) -> Callable[[], bool]:
+        return lambda: self.kv.exists(key)
+
+    # -- message queue ---------------------------------------------------
+    def mq_publish(self, queue: str, message: Dict[str, Any]) -> Callable[[], None]:
+        return lambda: self.mq.publish(queue, message)
+
+    def mq_consume(self, queue: str) -> Callable[[], Dict[str, Any]]:
+        return lambda: self.mq.consume(queue)
+
+    def mq_consume_with_timeout(
+        self, queue: str, timeout_s: float
+    ) -> Callable[[], Optional[Dict[str, Any]]]:
+        return lambda: self.mq.consume_with_timeout(queue, timeout_s)
+
+    def mq_drain(self, queue: str) -> Callable[[], List[Dict[str, Any]]]:
+        return lambda: self.mq.drain(queue)
+
+    # -- broadcast exchange ----------------------------------------------
+    def broadcast(
+        self, message: Dict[str, Any], exclude: str = ""
+    ) -> Callable[[], None]:
+        return lambda: self.exchange.publish(message, exclude=exclude)
+
+    def unbind(self, queue: str) -> None:
+        self.exchange.unbind(queue)
+
+    # -- execution accounting --------------------------------------------
+    def compute(self, cpu_seconds: float) -> Callable[[], None]:
+        """No artificial delay: the surrounding numpy arithmetic already
+        takes real CPU time here, which is the whole point of this
+        backend.  The calibrated estimate is simply discarded."""
+        return lambda: None
+
+    def sleep(self, seconds: float) -> Callable[[], None]:
+        return lambda: time.sleep(seconds)
+
+
+class LocalSpawner:
+    """Detached machines become daemon threads (GC sweeps)."""
+
+    def spawn(self, machine: Machine, name: str = "") -> None:
+        threading.Thread(
+            target=drive, args=(machine,), name=name or "detached", daemon=True
+        ).start()
+
+
+class LocalExecutionContext(ExecutionContext):
+    """One shared context serves every role — the pieces are thread-safe."""
+
+
+def _run_role(
+    loop_fn: Callable[[ExecutionContext, Dict[str, Any]], Machine],
+    ectx: ExecutionContext,
+    payload: Dict[str, Any],
+    results: Dict[str, Any],
+    errors: List[BaseException],
+    role: str,
+) -> None:
+    """Thread target: drive a role, re-entering on relaunch markers."""
+    try:
+        while True:
+            result = drive(loop_fn(ectx, payload))
+            if isinstance(result, dict) and result.get("outcome") == "relaunch":
+                payload = {**payload, "resume": True}
+                continue
+            results[role] = result
+            return
+    except BaseException as error:  # surfaced to the caller after join
+        errors.append(error)
+        results[role] = {"outcome": "error", "error": repr(error)}
+
+
+def run_local_job(
+    config: Any, max_duration_s: float = 600.0
+) -> RunResult:
+    """Train one MLLess job for real on local threads.
+
+    The local analogue of the simulator's
+    :class:`~repro.core.driver.MLLessDriver` run: stage the dataset,
+    declare the channels, run one thread per role, and assemble a
+    :class:`~repro.core.history.RunResult` whose ``started_at`` /
+    ``finished_at`` are genuine wall-clock seconds (cost is zero — there
+    is no billed platform).
+    """
+    if config.faults is not None and not config.faults.is_noop():
+        raise ValueError(
+            "the local backend cannot inject faults — fault profiles "
+            "sample simulated RNG streams and steer simulated time; "
+            "run fault experiments on the sim backend"
+        )
+
+    cos = LocalObjectStore()
+    kv = LocalKVStore()
+    mq = LocalMessageQueue()
+    exchange = LocalExchange(mq, "mlless-broadcast")
+    clock = LocalClock(max_duration_s=max_duration_s)
+
+    batch_keys = config.dataset.stage(cos, DATA_BUCKET)
+    runtime = JobRuntime(
+        config=config,
+        cos=cos,
+        kv=kv,
+        mq=mq,
+        exchange=exchange,
+        bucket=DATA_BUCKET,
+        batch_keys=batch_keys,
+        partitions=config.dataset.partition(config.n_workers),
+        monitor=Monitor(),
+    )
+
+    mq.declare(runtime.supervisor_queue)
+    for w in range(config.n_workers):
+        queue = runtime.worker_queue(w)
+        mq.declare(queue)
+        exchange.bind(queue)
+
+    if config.sync == "ssp":
+        worker_fn, supervisor_fn = ssp_worker_loop, ssp_supervisor_loop
+    else:
+        worker_fn, supervisor_fn = worker_loop, supervisor_loop
+    ectx = LocalExecutionContext(
+        services=LocalServices(cos, kv, mq, exchange),
+        clock=clock,
+        spawner=LocalSpawner(),
+    )
+
+    results: Dict[str, Any] = {}
+    errors: List[BaseException] = []
+    supervisor = threading.Thread(
+        target=_run_role,
+        args=(supervisor_fn, ectx, {"runtime": runtime}, results, errors,
+              "supervisor"),
+        name="role-supervisor",
+        daemon=True,
+    )
+    workers = [
+        threading.Thread(
+            target=_run_role,
+            args=(worker_fn, ectx, {"runtime": runtime, "worker_id": w},
+                  results, errors, f"worker-{w}"),
+            name=f"role-worker-{w}",
+            daemon=True,
+        )
+        for w in range(config.n_workers)
+    ]
+
+    started_at = clock.now()
+    supervisor.start()
+    for thread in workers:
+        thread.start()
+
+    supervisor.join(timeout=max_duration_s)
+    if supervisor.is_alive():
+        raise StorageError(
+            f"local supervisor did not finish within {max_duration_s:.0f}s"
+        )
+    for thread in workers:
+        thread.join(timeout=_WORKER_DRAIN_GRACE_S)
+    finished_at = clock.now()
+
+    if errors:
+        raise errors[0]
+
+    report = results.get("supervisor") or {}
+    stragglers = [t.name for t in workers if t.is_alive()]
+    extras = {
+        "stop_reason_is_target": float(report.get("converged", False)),
+        "workers_drained": float(len(workers) - len(stragglers)),
+    }
+    return RunResult(
+        system="mlless-local",
+        monitor=runtime.monitor,
+        meter=CostMeter(),
+        started_at=started_at,
+        finished_at=finished_at,
+        converged=bool(report.get("converged")),
+        final_loss=report.get("final_loss"),
+        total_steps=int(report.get("steps", 0)),
+        extras=extras,
+    )

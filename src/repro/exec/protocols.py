@@ -1,0 +1,191 @@
+"""The backend contract: what the training core may ask of its substrate.
+
+The worker/supervisor state machines in :mod:`repro.core` are plain
+Python generators.  They never touch the DES kernel, real sockets, or
+the host clock directly — every interaction with the outside world goes
+through the narrow interfaces defined here:
+
+``Services``
+    The data plane (object store, KV store, message queue, broadcast
+    exchange) plus CPU-time accounting and sleeping.  Each data-plane
+    method returns an opaque :class:`ServiceCall` token; the machine
+    **yields** the token and receives the operation's result at the same
+    ``yield`` expression.  Only the backend that minted a token knows how
+    to resolve it (the simulator ``yield from``\\ s a DES generator; the
+    local backend invokes a blocking closure), so machines stay
+    backend-neutral by construction.
+
+``Clock``
+    Synchronous reads of the backend's notion of time: simulated seconds
+    under :mod:`repro.exec.sim`, wall-clock seconds under
+    :mod:`repro.exec.local`.  Reading a clock never blocks and never
+    schedules anything.
+
+``Spawner``
+    Fire-and-forget execution of another machine (the supervisor's
+    detached garbage-collection sweeps).  A DES process in the
+    simulator; a daemon thread in the local backend.
+
+``ExecutionContext``
+    The bundle a machine receives: services + clock + spawner + tracer,
+    plus the per-activation ``annotate`` hook.
+
+The module also defines the observability protocols the runtime carries
+(:class:`TracerLike`, :class:`FaultSink`) so backends type-check against
+them instead of duck-typing ``Any``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "ServiceCall",
+    "Machine",
+    "Services",
+    "Clock",
+    "Spawner",
+    "ExecutionContext",
+    "RecoveryStats",
+    "FaultSink",
+    "TracerLike",
+]
+
+#: What a backend-neutral machine yields: an opaque token minted by the
+#: backend's :class:`Services`.  The simulator resolves it as a DES
+#: generator; the local backend calls it as a blocking closure.
+ServiceCall = Any
+
+#: A backend-neutral state machine: yields :data:`ServiceCall` tokens,
+#: receives each operation's result at the yield, returns a result dict.
+Machine = Generator
+
+
+class Services(Protocol):
+    """The data plane a training machine may use, one method per verb.
+
+    Every method except :meth:`unbind` returns a :data:`ServiceCall` to
+    be yielded; results (and service errors) are delivered at the yield
+    expression.  ``unbind`` is control-plane metadata and synchronous in
+    every backend, so it is a plain call.
+    """
+
+    # -- object store (mini-batches) ------------------------------------
+    def cos_get(self, bucket: str, key: str) -> ServiceCall: ...
+
+    # -- KV store (updates, checkpoints, replicas) ----------------------
+    def kv_set(self, key: str, value: Any) -> ServiceCall: ...
+
+    def kv_get(self, key: str) -> ServiceCall: ...
+
+    def kv_get_or_none(self, key: str) -> ServiceCall: ...
+
+    def kv_delete(self, key: str) -> ServiceCall: ...
+
+    def kv_exists(self, key: str) -> ServiceCall: ...
+
+    # -- message queue (control messages) -------------------------------
+    def mq_publish(self, queue: str, message: Dict[str, Any]) -> ServiceCall: ...
+
+    def mq_consume(self, queue: str) -> ServiceCall: ...
+
+    def mq_consume_with_timeout(self, queue: str, timeout_s: float) -> ServiceCall: ...
+
+    def mq_drain(self, queue: str) -> ServiceCall: ...
+
+    # -- broadcast exchange ---------------------------------------------
+    def broadcast(self, message: Dict[str, Any], exclude: str = "") -> ServiceCall: ...
+
+    def unbind(self, queue: str) -> None: ...
+
+    # -- execution accounting -------------------------------------------
+    def compute(self, cpu_seconds: float) -> ServiceCall: ...
+
+    def sleep(self, seconds: float) -> ServiceCall: ...
+
+
+class Clock(Protocol):
+    """Synchronous time reads; which clock depends on the backend."""
+
+    def now(self) -> float: ...
+
+    def remaining_time(self, started_at: float) -> float:
+        """Seconds left before the activation duration cap."""
+        ...
+
+
+class Spawner(Protocol):
+    """Detached execution of a machine (GC sweeps, side work)."""
+
+    def spawn(self, machine: Machine, name: str = "") -> None: ...
+
+
+class RecoveryStats(Protocol):
+    """The slice of fault statistics the training core reports into."""
+
+    def note_recovered(self, kind: str) -> None: ...
+
+
+@runtime_checkable
+class FaultSink(Protocol):
+    """Where the runtime counts recovery actions (a FaultInjector)."""
+
+    @property
+    def stats(self) -> RecoveryStats: ...
+
+
+class TracerLike(Protocol):
+    """The span-tracer surface the core and the backends program against.
+
+    Satisfied structurally by both :class:`repro.trace.Tracer` and the
+    no-op :data:`repro.trace.NULL_TRACER`; instrumented paths guard with
+    ``if tracer.enabled:`` so the null tracer costs one attribute read.
+    """
+
+    enabled: bool
+
+    def bind(self, env: Any) -> "TracerLike": ...
+
+    def begin(self, category: str, name: str, **attrs: Any) -> int: ...
+
+    def end(self, span_id: int, **attrs: Any) -> None: ...
+
+    def event(self, category: str, name: str, **attrs: Any) -> int: ...
+
+    def annotate(self, span_id: int, **attrs: Any) -> None: ...
+
+    def adopt(self, process: Any, span_id: int) -> None: ...
+
+    def current_span_id(self) -> int: ...
+
+
+class ExecutionContext:
+    """What one activation of a training machine gets to work with.
+
+    Concrete backends construct one per role activation and may override
+    :meth:`annotate` to attach attributes to their invoke span.
+    """
+
+    __slots__ = ("services", "clock", "spawner", "tracer")
+
+    def __init__(
+        self,
+        services: Services,
+        clock: Clock,
+        spawner: Spawner,
+        tracer: Optional[TracerLike] = None,
+    ):
+        if tracer is None:
+            from ..trace.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.services = services
+        self.clock = clock
+        self.spawner = spawner
+        self.tracer = tracer
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the enclosing activation span (no-op here)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} services={type(self.services).__name__}>"

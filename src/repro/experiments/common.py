@@ -91,8 +91,25 @@ def run_mlless(
     config: JobConfig,
     world: Optional[SimWorld] = None,
     tracer=None,
+    backend: str = "sim",
 ) -> RunResult:
-    """Run one MLLess job in a fresh (or given) simulation world."""
+    """Run one MLLess job on the chosen execution backend.
+
+    ``backend="sim"`` (default) runs in a fresh (or given) simulation
+    world; ``backend="local"`` runs the same training machines for real
+    on threads (:func:`repro.exec.local.run_local_job`) — no simulated
+    world, no fault injection, no tracer, genuine wall-clock timings.
+    """
+    if backend == "local":
+        if world is not None:
+            raise ValueError("backend='local' does not take a simulation world")
+        if tracer is not None:
+            raise ValueError("backend='local' does not support span tracing")
+        from ..exec.local import run_local_job
+
+        return run_local_job(config)
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r} (expected 'sim' or 'local')")
     if world is None:
         world = build_world(seed=config.seed, faults=config.faults, tracer=tracer)
     runtime = make_runtime(world, config)

@@ -1,12 +1,23 @@
 """Function specifications and activation context.
 
 A *function* is registered code plus a memory setting.  Handlers are
-simulation-process generator functions::
+simulation-process generator functions, written in one of two styles:
 
-    def handler(ctx, payload):
-        yield from ctx.compute(cpu_seconds=0.05)
-        data = yield from ctx.services.cos.get("bucket", "key")
-        return result
+1. **Direct DES style** — yield simulation events and service-process
+   generators straight from the handler::
+
+       def handler(ctx, payload):
+           yield from ctx.compute(cpu_seconds=0.05)
+           data = yield from ctx.services.cos.get("bucket", "key")
+           return result
+
+2. **Backend-neutral machine style** — write the logic as a plain
+   machine against :class:`repro.exec.protocols.ExecutionContext` and
+   wrap it with :func:`repro.exec.sim.as_sim_handler` (how the MLLess
+   worker/supervisor are registered).  Such machines also run unchanged
+   on the real local backend (:mod:`repro.exec.local`); use
+   :meth:`InvocationContext.execution_context` to build the sim-side
+   context by hand when composing manually.
 
 ``ctx`` (an :class:`InvocationContext`) provides the simulated clock, the
 platform services, and :meth:`InvocationContext.compute`, which charges CPU
@@ -134,6 +145,17 @@ class InvocationContext:
     def remaining_time(self, started_at: float) -> float:
         """Seconds left before the duration cap, given the start time."""
         return self.platform.limits.max_duration_s - (self.env.now - started_at)
+
+    def execution_context(self, runtime: Any) -> Any:
+        """A backend-neutral execution context over this activation.
+
+        Builds the :class:`repro.exec.sim.SimExecutionContext` that lets
+        a backend-neutral machine (see :mod:`repro.exec.protocols`) run
+        inside this activation against ``runtime``'s service handles.
+        """
+        from ..exec.sim import SimExecutionContext
+
+        return SimExecutionContext(self, runtime)
 
     def __repr__(self) -> str:
         return (
