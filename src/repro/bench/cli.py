@@ -11,6 +11,10 @@ kernel/merge groups)::
     python -m repro.bench --compare BENCH_baseline.json BENCH_optimized.json
     python -m repro.bench --compare BENCH_baseline.json BENCH_ci.json \
         --min-speedup 0 --portable-only     # cross-machine CI mode
+
+The platform-scale benchmark is a separate suite with its own CLI
+(``python -m repro.platform``); ``python -m repro.bench platform ...``
+forwards to it, so both suites hang off one entry point.
 """
 
 from __future__ import annotations
@@ -100,6 +104,11 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "platform":
+        from ..platform.cli import main as platform_main
+
+        return platform_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_ops:
         for op in ALL_OPS:

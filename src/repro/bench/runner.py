@@ -55,6 +55,7 @@ _FULL_REPS = {
     "core": (20, 2),
     "sim": (10, 1),
     "e2e": (2, 1),
+    "platform": (3, 1),
 }
 _QUICK_REPS = {
     "kernel": (5, 1),
@@ -63,6 +64,7 @@ _QUICK_REPS = {
     "core": (5, 1),
     "sim": (3, 1),
     "e2e": (1, 0),
+    "platform": (2, 0),
 }
 
 #: groups the compare gate holds to the minimum speedup (the tentpole's

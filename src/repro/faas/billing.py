@@ -31,6 +31,15 @@ class ActivationRecord:
     end: float
     cold: bool
     ok: bool
+    #: label of the platform instance that billed this activation.
+    #: Activation ids are only unique *within* one platform, so a
+    #: consolidated bill spanning several pools (one per memory grade,
+    #: or the per-job isolation baseline) needs the pool in the identity
+    #: — the cost ledger joins spans on (pool, function, activation_id).
+    pool: str = "faas"
+    #: identity of the (possibly warm-reused) container that ran the
+    #: activation; -1 when the activation never reached dispatch
+    container_id: int = -1
 
     @property
     def duration(self) -> float:
@@ -94,7 +103,8 @@ class FaaSBilling:
                 continue
             end = min(r.end, time)
             partial = ActivationRecord(
-                r.function, r.activation_id, r.memory_mb, r.start, end, r.cold, r.ok
+                r.function, r.activation_id, r.memory_mb, r.start, end, r.cold, r.ok,
+                pool=r.pool, container_id=r.container_id,
             )
             total += partial.cost(self.rate_per_gb_s)
         return total

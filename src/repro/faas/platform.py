@@ -18,7 +18,7 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Environment, Interrupt, Process, RandomStreams, Resource
 from ..trace.tracer import NO_SPAN, NULL_TRACER
@@ -37,20 +37,20 @@ __all__ = ["FaaSPlatform", "Activation"]
 
 @dataclass
 class _WarmPool:
-    """Idle warm containers for one function (timestamps of last use)."""
+    """Idle warm containers for one function: (container id, idle since)."""
 
-    idle_since: List[float] = field(default_factory=list)
+    idle: List[Tuple[int, float]] = field(default_factory=list)
 
-    def try_take(self, now: float, keep_alive: float) -> bool:
-        """Claim a still-alive warm container, evicting expired ones."""
-        self.idle_since = [t for t in self.idle_since if now - t <= keep_alive]
-        if self.idle_since:
-            self.idle_since.pop()
-            return True
-        return False
+    def try_take(self, now: float, keep_alive: float) -> Optional[int]:
+        """Claim a still-alive warm container (most recently used first),
+        evicting expired ones; returns its id, or None on a miss."""
+        self.idle = [(c, t) for c, t in self.idle if now - t <= keep_alive]
+        if self.idle:
+            return self.idle.pop()[0]
+        return None
 
-    def put_back(self, now: float) -> None:
-        self.idle_since.append(now)
+    def put_back(self, container_id: int, now: float) -> None:
+        self.idle.append((container_id, now))
 
 
 class Activation:
@@ -75,6 +75,9 @@ class Activation:
         #: when execution actually began (queue wait excluded) — billing
         #: starts here, not at submission
         self.started_at = submitted_at
+        #: identity of the container that ran (or is running) this
+        #: activation; -1 until dispatch assigns one
+        self.container_id = -1
         self.record: Optional[ActivationRecord] = None
         #: tracer span id of the "invoke" span (NO_SPAN when untraced)
         self.span_id = NO_SPAN
@@ -110,6 +113,7 @@ class FaaSPlatform:
         queue_when_full: bool = False,
         faults: Any = None,
         tracer: Any = None,
+        label: str = "faas",
     ):
         self.env = env
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -123,13 +127,24 @@ class FaaSPlatform:
         #: at the concurrency cap: queue invocations (real platform
         #: behaviour) instead of rejecting them with an error
         self.queue_when_full = queue_when_full
+        #: identity of this platform instance on billing records and
+        #: invoke spans — activation ids are only unique per platform, so
+        #: worlds with several pools feeding one consolidated bill must
+        #: give each pool a distinct label (see CostLedger)
+        self.label = label
         self._rng = streams.stream("faas.dispatch")
         self._functions: Dict[str, FunctionSpec] = {}
         self._warm: Dict[str, _WarmPool] = {}
         self._next_activation_id = 0
+        self._next_container_id = 0
         self._running = 0
         self._slots = Resource(env, capacity=limits.max_concurrency)
         self.activations: List[Activation] = []
+        #: container lifecycle, for warm-reuse and idle-cost analysis:
+        #: (sim time, event, function, container_id, activation_id) with
+        #: event one of "provision" (cold boot), "acquire" (warm hit),
+        #: "release" (back to the warm pool), "lost" (crashed container)
+        self.container_log: List[Tuple[float, str, str, int, int]] = []
 
     # -- registry ---------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:
@@ -179,6 +194,7 @@ class FaaSPlatform:
                 function=name,
                 activation_id=activation_id,
                 memory_mb=spec.memory_mb,
+                pool=self.label,
             )
         process = self.env.process(
             self._run_activation(spec, activation_id, payload, activation),
@@ -203,13 +219,26 @@ class FaaSPlatform:
     ) -> Generator:
         slot = self._slots.request()
         crashed = False
+        container_id: Optional[int] = None
         try:
             yield slot
             # Warm/cold is decided at dispatch (after any queueing delay).
-            cold = not self._warm[spec.name].try_take(
+            container_id = self._warm[spec.name].try_take(
                 self.env.now, self.cold_start.keep_alive
             )
+            cold = container_id is None
+            if cold:
+                container_id = self._next_container_id
+                self._next_container_id += 1
+                self.container_log.append(
+                    (self.env.now, "provision", spec.name, container_id, activation_id)
+                )
+            else:
+                self.container_log.append(
+                    (self.env.now, "acquire", spec.name, container_id, activation_id)
+                )
             activation.cold = cold
+            activation.container_id = container_id
             activation.started_at = self.env.now
             dispatch_base, cold_extra = self.cold_start.dispatch_components(
                 not cold, self._rng
@@ -284,8 +313,19 @@ class FaaSPlatform:
             raise ActivationTimeout(spec.name, self.limits.max_duration_s)
         finally:
             self._running -= 1
-            if not crashed:
-                self._warm[spec.name].put_back(self.env.now)
+            # Only an activation that actually acquired a container can
+            # return one — a failure while still queued must not conjure a
+            # phantom warm container.
+            if container_id is not None:
+                if crashed:
+                    self.container_log.append(
+                        (self.env.now, "lost", spec.name, container_id, activation_id)
+                    )
+                else:
+                    self._warm[spec.name].put_back(container_id, self.env.now)
+                    self.container_log.append(
+                        (self.env.now, "release", spec.name, container_id, activation_id)
+                    )
             self._slots.release(slot)
 
     def _finalize(self, activation: Activation) -> None:
@@ -298,6 +338,8 @@ class FaaSPlatform:
             end=self.env.now,
             cold=activation.cold,
             ok=bool(process.ok),
+            pool=self.label,
+            container_id=activation.container_id,
         )
         activation.record = record
         self.billing.add(record)
@@ -314,6 +356,37 @@ class FaaSPlatform:
             # no caller is waiting (failed activations are a normal FaaS
             # outcome surfaced via activation.result()).
             process.defused = True
+
+    # -- warm-pool control ----------------------------------------------
+    def warm_count(self, name: Optional[str] = None) -> int:
+        """Idle warm containers for ``name`` (or across all functions).
+
+        Counts lazily — containers whose keep-alive has expired but were
+        not yet evicted by a dispatch are still included; billing-side
+        accounting computes expiry times from :attr:`container_log`.
+        """
+        if name is not None:
+            return len(self._warm[name].idle)
+        return sum(len(pool.idle) for pool in self._warm.values())
+
+    def reclaim_warm(self) -> List[Tuple[str, int]]:
+        """Tear down every idle warm container (pool scale-to-zero).
+
+        The next invocation of each function pays a cold start again.
+        Returns the reclaimed ``(function, container_id)`` pairs and logs
+        a ``"reclaim"`` container event for each, so idle-cost accounting
+        can bound each container's billable idle tail at the reclaim.
+        """
+        reclaimed: List[Tuple[str, int]] = []
+        for fn in sorted(self._warm):
+            pool = self._warm[fn]
+            for container_id, _idle_since in pool.idle:
+                reclaimed.append((fn, container_id))
+                self.container_log.append(
+                    (self.env.now, "reclaim", fn, container_id, -1)
+                )
+            pool.idle = []
+        return reclaimed
 
     # -- convenience ----------------------------------------------------
     def invoke_and_wait(self, name: str, payload: Any = None) -> Generator:

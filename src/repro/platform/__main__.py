@@ -1,0 +1,7 @@
+"""``python -m repro.platform`` — the platform benchmark CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

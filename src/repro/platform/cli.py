@@ -1,0 +1,108 @@
+"""Command-line interface for the multi-tenant platform benchmark.
+
+Run the platform-scale benchmark and write ``BENCH_<name>.json``::
+
+    python -m repro.platform --name platform
+    python -m repro.platform --quick --name platform_ci --out artifacts/
+
+(also reachable as ``python -m repro.bench platform ...``).
+
+Diff a run against the committed baseline (CI's drift gate)::
+
+    python -m repro.platform --compare BENCH_platform.json \
+        artifacts/BENCH_platform_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..bench.runner import compare, write_results
+from .bench import run_platform_suite
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.platform",
+        description="Multi-tenant training platform benchmark "
+        "(jobs/hour, p95 queue wait, cost/job vs per-job isolation).",
+    )
+    parser.add_argument(
+        "--name", default="platform", help="result name: writes BENCH_<name>.json"
+    )
+    parser.add_argument("--out", default=".", help="output directory (default: .)")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer timing repetitions, identical scenario (checksums comparable)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "NEW"),
+        help="diff two BENCH_platform JSON files instead of running",
+    )
+    return parser
+
+
+def _run_compare(baseline_path: str, new_path: str) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(new_path) as handle:
+        new = json.load(handle)
+    # No speed gate — the platform bench gates on checksum drift only
+    # (its runtime is scenario-dominated, not kernel-dominated).
+    result = compare(baseline, new, min_speedup=0.0, portable_only=True)
+    print(f"compare: {baseline['name']} -> {new['name']}")
+    for line in result.lines:
+        print(f"  {line}")
+    print("PASS: checksums intact" if result.ok else "FAIL: see lines above")
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.compare:
+        return _run_compare(*args.compare)
+    doc = run_platform_suite(
+        name=args.name,
+        quick=args.quick,
+        seed=args.seed,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    path = write_results(doc, args.out)
+    for entry in doc["ops"]:
+        print(
+            f"  {entry['p50_ns'] / 1e6:10.3f} ms p50  "
+            f"{entry['p95_ns'] / 1e6:10.3f} ms p95  {entry['op']}"
+        )
+    section = doc["platform"]
+    metrics = section["metrics"]
+    comparison = section["comparison"]
+    print(
+        f"  jobs={metrics['jobs']:.0f} tenants={metrics['tenants']:.0f} "
+        f"jobs/hour={metrics['jobs_per_hour']:.1f}"
+    )
+    print(
+        f"  queue wait p50={metrics['queue_wait_p50_s']:.2f}s "
+        f"p95={metrics['queue_wait_p95_s']:.2f}s "
+        f"mean={metrics['queue_wait_mean_s']:.2f}s"
+    )
+    print(
+        f"  cost/job shared=${comparison['cost_per_job_shared_usd']:.6f} "
+        f"isolated=${comparison['cost_per_job_isolated_usd']:.6f} "
+        f"savings={comparison['savings_pct']:.1f}%"
+    )
+    print(f"  digest={section['digest']}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

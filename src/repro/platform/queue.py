@@ -1,0 +1,63 @@
+"""The platform's admission queue: per-tenant FIFOs.
+
+The queue holds jobs that have been submitted but not yet dispatched.
+It is a pure data structure — the scheduler owns all event-driven
+control flow — organised as one FIFO per tenant so fair-share ranking
+can look at each tenant's *head* job without scanning whole backlogs.
+Tenant iteration order is sorted, never insertion or dict order, so the
+schedule is independent of submission interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Tuple
+
+from .jobs import JobRecord
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Per-tenant FIFO queues of :class:`~repro.platform.jobs.JobRecord`."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[JobRecord]] = {}
+        self._depth = 0
+
+    def push(self, record: JobRecord) -> None:
+        tenant = record.spec.tenant_id
+        if tenant not in self._queues:
+            self._queues[tenant] = deque()
+        self._queues[tenant].append(record)
+        self._depth += 1
+
+    def pop_head(self, tenant_id: str) -> JobRecord:
+        """Dequeue the given tenant's head job (must exist)."""
+        queue = self._queues[tenant_id]
+        record = queue.popleft()
+        self._depth -= 1
+        if not queue:
+            del self._queues[tenant_id]
+        return record
+
+    def heads(self) -> Iterator[Tuple[str, JobRecord]]:
+        """Head job of every non-empty tenant queue, in sorted tenant order."""
+        for tenant_id in sorted(self._queues):
+            yield tenant_id, self._queues[tenant_id][0]
+
+    def backlog(self, tenant_id: str) -> int:
+        queue = self._queues.get(tenant_id)
+        return len(queue) if queue is not None else 0
+
+    def tenants_waiting(self) -> List[str]:
+        return sorted(self._queues)
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def __bool__(self) -> bool:
+        return self._depth > 0
+
+    def __repr__(self) -> str:
+        return f"<JobQueue depth={self._depth} tenants={len(self._queues)}>"

@@ -214,6 +214,8 @@ def to_jsonl_lines(trace: Any, billing: Any = None) -> Iterator[str]:
                     "end": r.end,
                     "cold": r.cold,
                     "ok": r.ok,
+                    "pool": r.pool,
+                    "container_id": r.container_id,
                 },
                 sort_keys=True,
             )
@@ -273,6 +275,8 @@ def parse_jsonl(lines: Iterable[str]) -> TraceData:
                     end=obj["end"],
                     cold=obj["cold"],
                     ok=obj["ok"],
+                    pool=obj.get("pool", "faas"),
+                    container_id=obj.get("container_id", -1),
                 )
             )
         else:

@@ -20,6 +20,16 @@ Accounting identities (checked by tests and ``reconcile()``):
   :class:`~repro.trace.tracer.NullTracer`, or a foreign billing object)
   is charged whole to ``unattributed``.
 
+Span identity: activation ids are only unique *within* one platform
+instance, so the join key is ``(pool, function, activation_id)`` — the
+pool label each :class:`~repro.faas.FaaSPlatform` stamps on its invoke
+spans and billing records.  A consolidated bill over several pools with
+*colliding* labels used to silently decompose a record against the wrong
+pool's span (the misattributed time vanished into ``billing.rounding``);
+now any ambiguous key is refused and its records land in
+``unattributed``, where :meth:`CostLedger.reconcile` makes the residue
+visible instead of swallowing it.
+
 Phases: ``dispatch`` (cold/warm dispatch latency), ``train`` (anything
 inside a worker ``step`` span), ``runtime`` (everything else inside the
 activation: checkpoint restores, drains, idle waits), ``billing`` (the
@@ -104,11 +114,23 @@ class CostLedger:
         """Join ``trace`` (anything with ``.spans``) against ``billing``."""
         spans = list(trace.spans)
         children = span_children(spans)
-        invoke_index: Dict[Tuple[str, int], Span] = {}
+        invoke_index: Dict[Tuple[str, str, int], Span] = {}
+        ambiguous: Dict[Tuple[str, str, int], bool] = {}
         for span in spans:
             if span.category == "invoke":
-                key = (span.attrs.get("function"), span.attrs.get("activation_id"))
-                invoke_index[key] = span
+                key = (
+                    span.attrs.get("pool", "faas"),
+                    span.attrs.get("function"),
+                    span.attrs.get("activation_id"),
+                )
+                if key in invoke_index:
+                    # Two pools with the same label minted the same
+                    # activation id: there is no way to tell which span
+                    # belongs to which record, so refuse the join rather
+                    # than attribute dollars to the wrong tenant/span.
+                    ambiguous[key] = True
+                else:
+                    invoke_index[key] = span
 
         rate = billing.rate_per_gb_s
         rows: List[Dict[str, Any]] = []
@@ -116,7 +138,12 @@ class CostLedger:
         for record in billing.records:
             record_costs.append(record.cost(rate))
             gb = record.memory_mb / 1024.0
-            span = invoke_index.get((record.function, record.activation_id))
+            key = (
+                getattr(record, "pool", "faas"),
+                record.function,
+                record.activation_id,
+            )
+            span = None if key in ambiguous else invoke_index.get(key)
             if span is None:
                 rows.append(
                     _row(record, None, "unattributed", "runtime",

@@ -1,0 +1,182 @@
+"""Scheduler + shared-pool behaviour under controlled submission patterns."""
+
+import pytest
+
+from repro.platform import (
+    FairShareScheduler,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+    SharedPool,
+    Tenant,
+)
+from repro.sim import Environment, Monitor, RandomStreams
+from repro.storage import KVStore
+
+
+def make_world(concurrency=4, scale_to_zero_after_s=0.0, keep_alive_s=60.0,
+               tenants=()):
+    env = Environment()
+    streams = RandomStreams(seed=0)
+    kv = KVStore(env, streams)
+    pool = SharedPool(
+        env, streams, kv,
+        concurrency=concurrency,
+        memory_grades_mb=(2048,),
+        keep_alive_s=keep_alive_s,
+        scale_to_zero_after_s=scale_to_zero_after_s,
+        monitor=Monitor(trace=True),
+        label="pool",
+    )
+    scheduler = FairShareScheduler(
+        env, pool, queue=JobQueue(), tenants=tenants, max_skips=3,
+        monitor=pool.monitor,
+    )
+    return env, pool, scheduler
+
+
+def spec(job_id, tenant, workers=1, steps=4, cpu=0.2):
+    return JobSpec(job_id, tenant, n_workers=workers, steps=steps, step_cpu_s=cpu)
+
+
+def submit_all(env, scheduler, specs):
+    records = [JobRecord(spec=s, ordinal=i) for i, s in enumerate(specs)]
+
+    def submitter():
+        for record in records:
+            scheduler.submit(record)
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    env.process(submitter())
+    return records
+
+
+def test_all_jobs_complete_and_none_starve():
+    tenants = [Tenant("t-a"), Tenant("t-b"), Tenant("t-c")]
+    env, pool, scheduler = make_world(concurrency=3, tenants=tenants)
+    specs = [
+        spec(f"{t.tenant_id}/j{i}", t.tenant_id, workers=1 + (i % 3))
+        for t in tenants
+        for i in range(4)
+    ]
+    records = submit_all(env, scheduler, specs)
+    env.run()
+    assert all(r.done and r.ok for r in records)
+    assert len(scheduler.completed) == len(records)
+
+
+def test_wide_job_is_not_starved_by_backfill():
+    """A pool-filling job seals the sweep and eventually dispatches."""
+    tenants = [Tenant("big"), Tenant("small")]
+    env, pool, scheduler = make_world(concurrency=4, tenants=tenants)
+    specs = [spec("big/j0", "big", workers=4, steps=8)]
+    specs += [spec(f"small/j{i}", "small", workers=1, steps=2) for i in range(30)]
+    records = submit_all(env, scheduler, specs)
+    env.run()
+    wide = records[0]
+    assert wide.done and wide.ok
+    # The seal kicks in well before the little jobs drain completely:
+    # the wide job must not be the very last thing to start.
+    started_after_wide = [
+        r for r in records[1:] if r.started_at > wide.started_at
+    ]
+    assert started_after_wide, "backfill starved the wide job to the end"
+
+
+def test_premium_tenant_waits_less_than_batch_under_contention():
+    tenants = [Tenant("vip", priority="premium"), Tenant("bulk", priority="batch")]
+    env, pool, scheduler = make_world(concurrency=2, tenants=tenants)
+    specs = []
+    for i in range(8):
+        specs.append(spec(f"vip/j{i}", "vip", workers=1, steps=6, cpu=0.3))
+        specs.append(spec(f"bulk/j{i}", "bulk", workers=1, steps=6, cpu=0.3))
+    records = submit_all(env, scheduler, specs)
+    env.run()
+    vip_wait = sum(r.queue_wait for r in records if r.spec.tenant_id == "vip")
+    bulk_wait = sum(r.queue_wait for r in records if r.spec.tenant_id == "bulk")
+    assert vip_wait < bulk_wait
+
+
+def test_concurrent_activations_never_exceed_the_pool_cap():
+    tenants = [Tenant("t-a"), Tenant("t-b")]
+    cap = 3
+    env, pool, scheduler = make_world(concurrency=cap, tenants=tenants)
+    specs = [
+        spec(f"{t}/j{i}", t, workers=1 + (i % cap), steps=3)
+        for t in ("t-a", "t-b")
+        for i in range(10)
+    ]
+    submit_all(env, scheduler, specs)
+    env.run()
+    # Sweep the billing records' execution windows: at no instant do more
+    # than `cap` activations overlap.  (queue_when_full=False means an
+    # admission bug would also have raised inside invoke.)
+    events = []
+    for record in pool.platform.billing.records:
+        events.append((record.start, 1))
+        events.append((record.end, -1))
+    live = peak = 0
+    for _, delta in sorted(events):
+        live += delta
+        peak = max(peak, live)
+    assert 0 < peak <= cap
+
+
+def test_submit_rejects_unknown_tenant_and_oversized_job():
+    tenants = [Tenant("t-a")]
+    env, pool, scheduler = make_world(concurrency=2, tenants=tenants)
+    with pytest.raises(KeyError):
+        scheduler.submit(JobRecord(spec=spec("x/j0", "x"), ordinal=0))
+    with pytest.raises(ValueError, match="never be admitted"):
+        scheduler.submit(
+            JobRecord(spec=spec("t-a/j0", "t-a", workers=5), ordinal=0)
+        )
+
+
+def test_scale_to_zero_reclaims_warm_and_recolds_the_next_job():
+    tenants = [Tenant("t-a")]
+    env, pool, scheduler = make_world(
+        concurrency=2, scale_to_zero_after_s=10.0, keep_alive_s=300.0,
+        tenants=tenants,
+    )
+    first = JobRecord(spec=spec("t-a/j0", "t-a"), ordinal=0)
+
+    def driver():
+        scheduler.submit(first)
+        yield env.timeout(100.0)  # idle long past the scale-to-zero window
+        assert pool.platform.warm_count() == 0
+        second = JobRecord(spec=spec("t-a/j1", "t-a"), ordinal=1)
+        scheduler.submit(second)
+
+    env.process(driver())
+    env.run()
+    events = [event for _, event, _, _, _ in pool.platform.container_log]
+    assert "reclaim" in events
+    # Both jobs cold-started: the warm container did not survive idling.
+    assert pool.cold_activations == 2
+    assert pool.warm_activations == 0
+
+
+def test_warm_containers_are_reused_across_tenants():
+    tenants = [Tenant("t-a"), Tenant("t-b")]
+    env, pool, scheduler = make_world(concurrency=2, keep_alive_s=600.0,
+                                      tenants=tenants)
+    first = JobRecord(spec=spec("t-a/j0", "t-a"), ordinal=0)
+    second = JobRecord(spec=spec("t-b/j0", "t-b"), ordinal=1)
+
+    def driver():
+        scheduler.submit(first)
+        yield env.timeout(60.0)
+        scheduler.submit(second)
+
+    env.process(driver())
+    env.run()
+    assert pool.cold_activations == 1
+    assert pool.warm_activations == 1
+    # The reused container's id shows up under both tenants' activations.
+    by_container = {}
+    for record in pool.platform.billing.records:
+        owner = pool.owners[("pool", record.activation_id)][0]
+        by_container.setdefault(record.container_id, set()).add(owner)
+    assert {"t-a", "t-b"} in by_container.values()
