@@ -10,12 +10,19 @@ docstrings; this package makes violating them a CI failure.
 Two complementary halves:
 
 ``repro.analysis`` (static)
-    An AST-based analyzer (``python -m repro.analysis``) enforcing rules
-    SIM001..SIM006 over the source tree.  Pure ``ast`` + a small rule
-    engine — no third-party lint framework.  Findings are suppressible
-    per line (``# sim-lint: disable=SIM00x``), per module (the
-    ``[tool.sim-lint]`` allowlist in ``pyproject.toml``) or via a
-    ``--baseline`` file for grandfathered findings.
+    A two-phase project analyzer (``python -m repro.analysis``): a
+    *collect* phase parses every file once into a shared
+    :class:`~repro.analysis.project.ProjectContext` (import graph,
+    symbol tables, machine detection, seed-stream call sites); a *check*
+    phase runs the per-file purity rules (``SIM0xx``) plus three
+    cross-module families — ``EXEC1xx`` (backend-neutrality of the
+    training machines), ``SEED1xx`` (project-wide seed-stream
+    discipline), ``LOCK1xx`` (thread-backend lock hygiene).  Pure
+    ``ast`` + a small rule engine — no third-party lint framework.
+    Findings are suppressible per line (``# sim-lint: disable=ID``), per
+    module (the ``[tool.sim-lint]`` allowlist in ``pyproject.toml``) or
+    via a ``--baseline`` file for grandfathered findings; reports render
+    as text, JSON, GitHub annotations, or SARIF.
 
 ``repro.analysis.determinism`` (runtime)
     An end-to-end oracle that runs a small training job twice, hashes
@@ -28,16 +35,21 @@ Two complementary halves:
 from .baseline import load_baseline, write_baseline
 from .config import SimLintConfig, load_config
 from .engine import Finding, analyze_paths, iter_source_files
+from .formats import FORMATS, render
+from .project import ProjectContext
 from .rules import ALL_RULES, rule_by_id
 
 __all__ = [
     "ALL_RULES",
+    "FORMATS",
     "Finding",
+    "ProjectContext",
     "SimLintConfig",
     "analyze_paths",
     "iter_source_files",
     "load_baseline",
     "load_config",
+    "render",
     "rule_by_id",
     "write_baseline",
 ]

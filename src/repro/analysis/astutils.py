@@ -1,0 +1,106 @@
+"""Shared AST helpers: import maps, dotted-name flattening, alias resolution.
+
+Factored out of :mod:`repro.analysis.rules` so the per-file SIM rules,
+the cross-module EXEC/SEED/LOCK rule families and the
+:class:`~repro.analysis.project.ProjectContext` collect phase all
+resolve names the same way — an alias dodge that fools one rule must
+fool none.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = [
+    "build_import_map",
+    "dotted_name",
+    "resolve",
+    "terminal_name",
+    "is_generator_function",
+]
+
+
+def build_import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local alias -> fully dotted origin for every import in ``tree``.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from time import time as now``  -> ``{"now": "time.time"}``
+    ``import os.path``                -> ``{"os": "os"}``
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module in (None, "__future__"):
+                continue  # relative imports resolve inside the package
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """Flatten ``a.b.c`` attribute chains into ``["a", "b", "c"]``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def resolve(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Fully qualified name of ``node`` (a Name/Attribute), or None.
+
+    The head segment is resolved through ``imports``; a bare name that
+    was never imported resolves to itself (covering builtins such as
+    ``open``), while a dotted chain whose head is an unimported local
+    variable resolves to None — we cannot know what it is, and guessing
+    would produce false positives on e.g. a parameter named ``time``.
+    """
+    parts = dotted_name(node)
+    if parts is None:
+        return None
+    head, rest = parts[0], parts[1:]
+    if head in imports:
+        return ".".join([imports[head], *rest])
+    if not rest:
+        return head
+    return None
+
+
+def terminal_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The last segment of a (possibly subscripted) annotation expression.
+
+    ``Machine`` -> ``Machine``; ``protocols.Machine`` -> ``Machine``;
+    ``Optional[ExecutionContext]`` -> the subscript *value*'s terminal is
+    not unwrapped — annotations in this codebase are plain names, and a
+    wrapped one simply fails the (conservative) machine detection.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation, e.g. ``-> "Machine"``.
+        return node.value.split("[")[0].split(".")[-1].strip() or None
+    parts = dotted_name(node)
+    return parts[-1] if parts else None
+
+
+def is_generator_function(fn: ast.AST) -> bool:
+    """True when ``fn``'s own body contains a yield (nested defs excluded)."""
+    stack: List[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue  # a nested scope's yields are not ours
+        stack.extend(ast.iter_child_nodes(node))
+    return False

@@ -4,8 +4,10 @@ Examples::
 
     python -m repro.analysis                        # scan src/repro, text output
     python -m repro.analysis --json                 # machine-readable report
+    python -m repro.analysis --format github        # PR-diff annotations
+    python -m repro.analysis --format sarif --output sim-lint.sarif
     python -m repro.analysis --baseline analysis-baseline.json
-    python -m repro.analysis --rules SIM001,SIM003 src/repro/sim
+    python -m repro.analysis --rules SIM001,EXEC102 src/repro/core
     python -m repro.analysis --write-baseline analysis-baseline.json
 
 Exit codes: 0 clean (no non-grandfathered findings), 1 findings, 2 bad
@@ -23,6 +25,7 @@ from typing import List, Optional, Sequence
 from .baseline import load_baseline, split_by_baseline, write_baseline
 from .config import load_config
 from .engine import Finding, analyze_paths
+from .formats import FORMATS, render
 from .rules import ALL_RULES, iter_rule_docs, rule_by_id
 
 __all__ = ["main", "build_parser"]
@@ -38,8 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to scan (default: src/repro)",
     )
     parser.add_argument(
+        "--format", choices=sorted(FORMATS), default=None, dest="fmt",
+        help="report format (default: text); github = Actions annotations, "
+        "sarif = SARIF 2.1.0 for code-scanning upload",
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit a JSON report instead of text",
+        help="shorthand for --format json",
     )
     parser.add_argument(
         "--output", metavar="FILE",
@@ -117,9 +125,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         findings, grandfathered = split_by_baseline(findings, fingerprints)
 
-    report = _render_json(findings, grandfathered) if args.as_json else _render_text(
-        findings, grandfathered
-    )
+    fmt = args.fmt or ("json" if args.as_json else "text")
+    report = render(fmt, findings, grandfathered)
     print(report)
     if args.output:
         Path(args.output).write_text(report + "\n", encoding="utf-8")
@@ -130,29 +137,3 @@ def _select_rules(spec: Optional[str]):
     if not spec:
         return list(ALL_RULES)
     return [rule_by_id(rule_id.strip()) for rule_id in spec.split(",") if rule_id.strip()]
-
-
-def _render_text(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
-    lines: List[str] = []
-    for finding in findings:
-        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
-        lines.append(f"    {finding.snippet}")
-    summary = f"sim-lint: {len(findings)} finding(s)"
-    if grandfathered:
-        summary += f", {len(grandfathered)} grandfathered by baseline"
-    lines.append(summary)
-    return "\n".join(lines)
-
-
-def _render_json(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
-    by_rule: dict = {}
-    for finding in findings:
-        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
-    payload = {
-        "version": 1,
-        "findings": [f.to_dict() for f in findings],
-        "grandfathered": [f.to_dict() for f in grandfathered],
-        "counts": {"total": len(findings), "by_rule": by_rule},
-        "clean": not findings,
-    }
-    return json.dumps(payload, indent=2)

@@ -18,6 +18,20 @@ defaults reproduce the repo layout)::
     # banned constructs (e.g. explicitly seeded RNG factories)
     "sim/rand.py" = ["SIM002"]
 
+    [tool.sim-lint.exec]          # EXEC1xx backend-neutrality family
+    machine-modules = []          # extra machine hosts beyond detection
+    protocols-module = "exec/protocols.py"
+    services-protocol = "Services"
+    backends = ["exec/sim.py:SimServices", "exec/local.py:LocalServices"]
+    banned-imports = ["sim", "exec.sim", "threading", "queue", "time"]  # + more defaults
+
+    [tool.sim-lint.seed]          # SEED1xx seed-stream family
+    rng-factories = ["sim/rand.py"]   # modules allowed to build RNGs
+
+    [tool.sim-lint.lock]          # LOCK1xx thread-backend family
+    modules = ["exec/local.py"]   # modules under lock-hygiene rules
+    sanctioned-blocking = []      # helper qualnames allowed to block forever
+
 Python 3.11+ parses the file with :mod:`tomllib`; on 3.9/3.10 (no
 tomllib, and this repo adds no third-party dependencies) a minimal
 line-oriented fallback parser handles the subset of TOML these tables
@@ -53,6 +67,59 @@ DEFAULT_BILLING_MODULES = (
     "pricing/catalog.py",
 )
 
+#: the distribution's top package: absolute imports of it normalise to
+#: the same package-relative form the layer prefixes use
+DEFAULT_PACKAGE_NAME = "repro"
+
+#: module hosting the backend contract protocols (EXEC102/EXEC103)
+DEFAULT_PROTOCOLS_MODULE = "exec/protocols.py"
+
+#: the data-plane protocol class machines yield tokens from
+DEFAULT_SERVICES_CLASS = "Services"
+
+#: ``module:Class`` per backend that must implement every Services method
+DEFAULT_EXEC_BACKENDS = (
+    "exec/sim.py:SimServices",
+    "exec/local.py:LocalServices",
+)
+
+#: modules (package-relative) machine hosts may never import — the sim
+#: kernel, the concrete backends, and host concurrency/clock/IO modules.
+#: Matching is by dotted prefix: ``sim`` bans ``sim.core`` too.
+DEFAULT_EXEC_BANNED_IMPORTS = (
+    "sim",
+    "exec.sim",
+    "exec.local",
+    "threading",
+    "queue",
+    "_thread",
+    "multiprocessing",
+    "concurrent",
+    "asyncio",
+    "socket",
+    "subprocess",
+    "selectors",
+    "select",
+    "signal",
+    "time",
+    "os",
+)
+
+#: modules allowed to construct RNGs directly (SEED103): the stream
+#: registry itself plus the explicitly seeded factories that SIM002's
+#: per-module allowlist has always covered
+DEFAULT_SEED_RNG_FACTORIES = (
+    "sim/rand.py",
+    "ml/data/synthetic.py",
+    "core/worker.py",
+    "baselines/pywren_ml.py",
+    "baselines/serverful.py",
+    "bench/workloads.py",
+)
+
+#: thread-backend modules whose lock discipline LOCK1xx polices
+DEFAULT_LOCK_MODULES = ("exec/local.py",)
+
 
 @dataclass(frozen=True)
 class SimLintConfig:
@@ -63,6 +130,18 @@ class SimLintConfig:
     exclude: Tuple[str, ...] = ()
     #: module path -> rule ids permitted module-wide
     allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: the distribution's top package name (import normalisation)
+    package_name: str = DEFAULT_PACKAGE_NAME
+    #: extra modules policed as machine hosts even without detected machines
+    exec_machine_modules: Tuple[str, ...] = ()
+    exec_protocols_module: str = DEFAULT_PROTOCOLS_MODULE
+    exec_services_class: str = DEFAULT_SERVICES_CLASS
+    exec_backends: Tuple[str, ...] = DEFAULT_EXEC_BACKENDS
+    exec_banned_imports: Tuple[str, ...] = DEFAULT_EXEC_BANNED_IMPORTS
+    seed_rng_factories: Tuple[str, ...] = DEFAULT_SEED_RNG_FACTORIES
+    lock_modules: Tuple[str, ...] = DEFAULT_LOCK_MODULES
+    #: ``Class.method`` / function qualnames allowed timeout-less blocking
+    lock_sanctioned: Tuple[str, ...] = ()
 
     def in_simulated_layer(self, module: str) -> bool:
         """True when ``module`` (package-relative posix path) is simulated."""
@@ -79,6 +158,28 @@ class SimLintConfig:
 
     def is_excluded(self, module: str) -> bool:
         return any(fragment and fragment in module for fragment in self.exclude)
+
+    def in_lock_module(self, module: str) -> bool:
+        """True when ``module`` is a thread-backend module (LOCK1xx scope)."""
+        return any(
+            module == entry or module.startswith(entry + "/")
+            for entry in self.lock_modules
+        )
+
+    def is_rng_factory(self, module: str) -> bool:
+        return module in self.seed_rng_factories
+
+    def normalize_import(self, name: str) -> str:
+        """Strip the top-package prefix off an absolute internal import.
+
+        ``repro.exec.sim`` and the relative ``..exec.sim`` must ban
+        identically; external imports (``numpy``, ``threading``) pass
+        through unchanged.
+        """
+        prefix = self.package_name + "."
+        if name.startswith(prefix):
+            return name[len(prefix):]
+        return name
 
 
 def load_config(pyproject: Optional[Path] = None, start: Optional[Path] = None) -> SimLintConfig:
@@ -118,7 +219,37 @@ def config_from_table(table: dict) -> SimLintConfig:
             for module, rules in allow.items()
             if isinstance(rules, list)
         }
+    package = table.get("package")
+    if isinstance(package, str) and package:
+        kwargs["package_name"] = package
+
+    exec_table = table.get("exec")
+    if isinstance(exec_table, dict):
+        _take_list(exec_table, "machine-modules", kwargs, "exec_machine_modules")
+        _take_str(exec_table, "protocols-module", kwargs, "exec_protocols_module")
+        _take_str(exec_table, "services-protocol", kwargs, "exec_services_class")
+        _take_list(exec_table, "backends", kwargs, "exec_backends")
+        _take_list(exec_table, "banned-imports", kwargs, "exec_banned_imports")
+    seed_table = table.get("seed")
+    if isinstance(seed_table, dict):
+        _take_list(seed_table, "rng-factories", kwargs, "seed_rng_factories")
+    lock_table = table.get("lock")
+    if isinstance(lock_table, dict):
+        _take_list(lock_table, "modules", kwargs, "lock_modules")
+        _take_list(lock_table, "sanctioned-blocking", kwargs, "lock_sanctioned")
     return SimLintConfig(**kwargs)
+
+
+def _take_list(table: dict, key: str, kwargs: dict, field_name: str) -> None:
+    value = table.get(key)
+    if isinstance(value, list):
+        kwargs[field_name] = tuple(str(x) for x in value)
+
+
+def _take_str(table: dict, key: str, kwargs: dict, field_name: str) -> None:
+    value = table.get(key)
+    if isinstance(value, str) and value:
+        kwargs[field_name] = value
 
 
 def _discover_pyproject(start: Path) -> Optional[Path]:

@@ -7,6 +7,22 @@ that walks a parsed AST and yields findings.  The engine owns everything
 rules share: stable file ordering, module-path normalisation,
 ``# sim-lint: disable=`` comment handling, the per-module allowlist, and
 deterministic output ordering.
+
+Since the project-analyzer upgrade the engine runs in **two phases**:
+
+*collect*
+    every file is parsed exactly once into a
+    :class:`~repro.analysis.project.ProjectContext` — module import
+    graph, symbol table of class/function definitions, machine
+    detection, alias-resolved call sites — shared by all rules;
+
+*check*
+    per-file rules (``SIM0xx``) run against each file's
+    :class:`FileContext`; project rules (``EXEC1xx``/``SEED1xx``/
+    ``LOCK1xx``, ``requires_project = True``) run once against the
+    whole :class:`ProjectContext`.  All findings flow through the same
+    suppression/allowlist filter, so ``# sim-lint: disable=EXEC102``
+    works exactly like ``disable=SIM001``.
 """
 
 from __future__ import annotations
@@ -23,15 +39,33 @@ from .config import SimLintConfig
 __all__ = [
     "FileContext",
     "Finding",
+    "Rule",
     "analyze_paths",
     "iter_source_files",
     "module_path",
     "parse_suppressions",
 ]
 
-#: ``# sim-lint: disable=SIM001`` or ``...disable=SIM001,SIM003 — prose``
+#: ``# sim-lint: disable=SIM001`` or ``...disable=SIM001,EXEC102 — prose``
 _SUPPRESS_RE = re.compile(
     r"#\s*sim-lint:\s*disable\s*=\s*([A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*|all)",
+)
+
+#: statement types whose multi-line extent a suppression comment covers —
+#: simple (non-compound) statements only: extending a comment on a
+#: ``def``/``for``/``with`` header over the whole body would suppress far
+#: more than the author wrote the comment against.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
 )
 
 
@@ -105,13 +139,45 @@ class FileContext:
         return ast.get_source_segment(self.source, node) or ""
 
 
-def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+class Rule:
+    """Base rule: subclasses set ``id``/``title`` and implement a check.
+
+    Per-file rules implement :meth:`check`; cross-module rules set
+    ``requires_project = True`` and implement :meth:`check_project`
+    against the shared :class:`~repro.analysis.project.ProjectContext`.
+    """
+
+    id: str = "SIM000"
+    title: str = ""
+    #: True for cross-module rules checked once per run, not per file
+    requires_project: bool = False
+
+    def scope(self, config: SimLintConfig, module: str) -> bool:
+        """Whether this rule applies to ``module`` at all."""
+        return config.in_simulated_layer(module)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:  # noqa: F821
+        raise NotImplementedError
+
+
+def parse_suppressions(
+    lines: Sequence[str], tree: Optional[ast.AST] = None
+) -> Dict[int, Set[str]]:
     """Per-line suppressed rule ids (1-based), from sim-lint comments.
 
     ``disable=all`` suppresses every rule on that line.  Trailing prose
     after the rule list is permitted and encouraged::
 
         if value == 0:  # sim-lint: disable=SIM004 — exact-zero display check
+
+    When ``tree`` is given, a comment anywhere on a **multi-line simple
+    statement** (a parenthesized call, a continued assignment, a long
+    import) covers the statement's full ``lineno..end_lineno`` extent, so
+    a finding whose node reports a continuation line is still suppressed
+    by the comment on the opening line.
     """
     suppressed: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(lines, start=1):
@@ -123,6 +189,19 @@ def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
             suppressed[lineno] = {"all"}
         else:
             suppressed[lineno] = {part.strip().upper() for part in spec.split(",")}
+    if tree is not None and suppressed:
+        for node in ast.walk(tree):
+            if not isinstance(node, _SIMPLE_STMTS):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None or end <= node.lineno:
+                continue
+            covering: Set[str] = set()
+            for ln in range(node.lineno, end + 1):
+                covering |= suppressed.get(ln, set())
+            if covering:
+                for ln in range(node.lineno, end + 1):
+                    suppressed.setdefault(ln, set()).update(covering)
     return suppressed
 
 
@@ -170,6 +249,39 @@ def module_path(path: Path) -> str:
     return path.name
 
 
+def parse_file(
+    path: Path, module: str, config: SimLintConfig
+) -> "tuple[Optional[FileContext], Optional[Finding]]":
+    """Parse one source file into a :class:`FileContext`.
+
+    Returns ``(ctx, None)`` on success and ``(None, finding)`` when the
+    file is unreadable or does not parse (rule id ``SIM000``).
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, _degenerate_finding(path, module, f"unreadable file: {exc}")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            rule="SIM000",
+            path=str(path),
+            module=module,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").strip(),
+        )
+    return (
+        FileContext(
+            path=path, module=module, source=source, lines=lines, tree=tree, config=config
+        ),
+        None,
+    )
+
+
 def analyze_paths(
     paths: Iterable[Path],
     config: Optional[SimLintConfig] = None,
@@ -177,60 +289,48 @@ def analyze_paths(
 ) -> List[Finding]:
     """Run ``rules`` over every source file under ``paths``.
 
-    Returns findings sorted by (module, line, col, rule), already
-    filtered through per-line suppressions and the module allowlist.
+    Phase 1 parses every file once into a shared
+    :class:`~repro.analysis.project.ProjectContext`; phase 2 runs the
+    per-file rules against each file and the project rules against the
+    whole context.  Returns findings sorted by (module, line, col, rule),
+    already filtered through per-line suppressions and the module
+    allowlist.
     """
+    from .project import ProjectContext
     from .rules import ALL_RULES
 
     config = config or SimLintConfig()
     active_rules = list(rules if rules is not None else ALL_RULES)
-    findings: List[Finding] = []
-    for path in iter_source_files(paths):
-        module = module_path(path)
-        if config.is_excluded(module):
-            continue
-        findings.extend(_analyze_file(path, module, config, active_rules))
+    file_rules = [r for r in active_rules if not r.requires_project]
+    project_rules = [r for r in active_rules if r.requires_project]
+
+    project = ProjectContext.collect(iter_source_files(paths), config)
+
+    raw: List[Finding] = list(project.parse_errors)
+    for module in project.module_names():
+        info = project.modules[module]
+        allowed = set(config.allowed_rules(module))
+        for rule in file_rules:
+            if rule.id in allowed or not rule.scope(config, module):
+                continue
+            raw.extend(rule.check(info.ctx))
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+
+    findings = [f for f in raw if not _is_silenced(f, project, config)]
     findings.sort(key=lambda f: (f.module, f.line, f.col, f.rule))
     return findings
 
 
-def _analyze_file(
-    path: Path, module: str, config: SimLintConfig, rules: Sequence
-) -> List[Finding]:
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        return [_degenerate_finding(path, module, f"unreadable file: {exc}")]
-    lines = source.splitlines()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="SIM000",
-                path=str(path),
-                module=module,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-                snippet=(exc.text or "").strip(),
-            )
-        ]
-    ctx = FileContext(
-        path=path, module=module, source=source, lines=lines, tree=tree, config=config
-    )
-    suppressions = parse_suppressions(lines)
-    allowed = set(config.allowed_rules(module))
-    results: List[Finding] = []
-    for rule in rules:
-        if rule.id in allowed or not rule.scope(config, module):
-            continue
-        for finding in rule.check(ctx):
-            line_rules = suppressions.get(finding.line, ())
-            if "all" in line_rules or finding.rule in line_rules:
-                continue
-            results.append(finding)
-    return results
+def _is_silenced(finding: Finding, project, config: SimLintConfig) -> bool:
+    """Apply the module allowlist and line suppressions to one finding."""
+    if finding.rule in config.allowed_rules(finding.module):
+        return True
+    info = project.modules.get(finding.module)
+    if info is None:
+        return False
+    line_rules = info.suppressions.get(finding.line, ())
+    return "all" in line_rules or finding.rule in line_rules
 
 
 def _degenerate_finding(path: Path, module: str, message: str) -> Finding:

@@ -1,0 +1,170 @@
+"""Report renderers: text, JSON, GitHub annotations, SARIF.
+
+One findings list, four serialisations.  ``text`` and ``json`` are the
+human/tooling pair the CLI always had; ``github`` emits workflow
+annotation commands so findings land inline on the PR diff; ``sarif``
+emits a minimal SARIF 2.1.0 log for the code-scanning upload action.
+All four take the same ``(findings, grandfathered)`` pair the baseline
+split produces — grandfathered findings are reported (text summary,
+JSON section) but never rendered as annotations, because annotating
+what the baseline explicitly forgives is noise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+__all__ = [
+    "FORMATS",
+    "render",
+    "render_github",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
+
+#: tool metadata stamped into the SARIF log
+_TOOL_NAME = "sim-lint"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        lines.append(f"    {finding.snippet}")
+    summary = f"sim-lint: {len(findings)} finding(s)"
+    if grandfathered:
+        summary += f", {len(grandfathered)} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "grandfathered": [f.to_dict() for f in grandfathered],
+        "counts": {"total": len(findings), "by_rule": by_rule},
+        "clean": not findings,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_github(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    """GitHub Actions workflow commands, one ``::error`` per finding.
+
+    The runner parses these off stdout and attaches them to the diff at
+    ``file``/``line``, so a reviewer sees the violation in place without
+    opening the job log.  Commands are single-line by contract: newlines
+    and the command metacharacters are percent-escaped per the workflow
+    command spec.
+    """
+    lines = [
+        f"::error file={_escape_property(f.path)},line={f.line},col={f.col},"
+        f"title={_escape_property(f.rule)}::{f.rule}: {_escape_data(f.message)}"
+        for f in findings
+    ]
+    summary = f"sim-lint: {len(findings)} finding(s)"
+    if grandfathered:
+        summary += f", {len(grandfathered)} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message (the part after the ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (``title=...`` etc.)."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def render_sarif(findings: Sequence[Finding], grandfathered: Sequence[Finding]) -> str:
+    """A minimal SARIF 2.1.0 log.
+
+    One run, one tool, one result per non-grandfathered finding.  The
+    line-shift-stable :attr:`Finding.fingerprint` goes into
+    ``partialFingerprints`` so code scanning tracks a finding across
+    commits the same way the baseline file does.
+    """
+    rule_ids = sorted({f.rule for f in findings})
+    rules_meta = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in rule_ids
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                            "snippet": {"text": f.snippet},
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"simLintFingerprint/v1": f.fingerprint},
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/sim-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {"grandfathered": len(grandfathered)},
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+    "sarif": render_sarif,
+}
+
+
+def render(
+    fmt: str, findings: Sequence[Finding], grandfathered: Sequence[Finding]
+) -> str:
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown format: {fmt!r} (choose from {sorted(FORMATS)})")
+    return renderer(findings, grandfathered)

@@ -1,9 +1,14 @@
-"""The simulation-purity rules, SIM001..SIM006.
+"""The per-file simulation-purity rules, SIM001..SIM006 — and the registry.
 
 Each rule documents the invariant it protects and the precise syntactic
 pattern it matches.  All rules resolve names through the file's imports
 (``import numpy as np`` makes ``np.random.rand`` resolve to
-``numpy.random.rand``), so aliasing cannot dodge a ban.
+``numpy.random.rand``), so aliasing cannot dodge a ban.  The
+cross-module families (EXEC1xx backend-neutrality, SEED1xx seed-stream
+discipline, LOCK1xx thread-backend lock lint) live in
+:mod:`~repro.analysis.exec_rules` / :mod:`~repro.analysis.seed_rules` /
+:mod:`~repro.analysis.lock_rules`; this module assembles the combined
+``ALL_RULES`` registry.
 
 Scoping vocabulary (see :class:`~repro.analysis.config.SimLintConfig`):
 
@@ -22,84 +27,20 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
 
+from .astutils import build_import_map, dotted_name, resolve
 from .config import SimLintConfig
-from .engine import FileContext, Finding
+from .engine import FileContext, Finding, Rule
 
-__all__ = ["ALL_RULES", "Rule", "rule_by_id"]
-
-
-# -- shared AST utilities --------------------------------------------------
-
-
-def build_import_map(tree: ast.AST) -> Dict[str, str]:
-    """Map local alias -> fully dotted origin for every import in ``tree``.
-
-    ``import numpy as np``            -> ``{"np": "numpy"}``
-    ``from time import time as now``  -> ``{"now": "time.time"}``
-    ``import os.path``                -> ``{"os": "os"}``
-    """
-    imports: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname:
-                    imports[alias.asname] = alias.name
-                else:
-                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
-        elif isinstance(node, ast.ImportFrom):
-            if node.level or node.module in (None, "__future__"):
-                continue  # relative imports resolve inside the package
-            for alias in node.names:
-                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
-    return imports
-
-
-def dotted_name(node: ast.AST) -> Optional[List[str]]:
-    """Flatten ``a.b.c`` attribute chains into ``["a", "b", "c"]``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return parts[::-1]
-    return None
-
-
-def resolve(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
-    """Fully qualified name of ``node`` (a Name/Attribute), or None.
-
-    The head segment is resolved through ``imports``; a bare name that
-    was never imported resolves to itself (covering builtins such as
-    ``open``), while a dotted chain whose head is an unimported local
-    variable resolves to None — we cannot know what it is, and guessing
-    would produce false positives on e.g. a parameter named ``time``.
-    """
-    parts = dotted_name(node)
-    if parts is None:
-        return None
-    head, rest = parts[0], parts[1:]
-    if head in imports:
-        return ".".join([imports[head], *rest])
-    if not rest:
-        return head
-    return None
-
-
-class Rule:
-    """Base rule: subclasses set ``id``/``title`` and implement ``check``."""
-
-    id: str = "SIM000"
-    title: str = ""
-
-    def scope(self, config: SimLintConfig, module: str) -> bool:
-        """Whether this rule applies to ``module`` at all."""
-        return config.in_simulated_layer(module)
-
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        raise NotImplementedError
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "build_import_map",
+    "dotted_name",
+    "resolve",
+    "rule_by_id",
+]
 
 
 # -- SIM001 ----------------------------------------------------------------
@@ -488,7 +429,7 @@ class HeapTieBreakerRule(Rule):
         )
 
 
-ALL_RULES: Sequence[Rule] = (
+SIM_RULES: Sequence[Rule] = (
     WallClockRule(),
     GlobalRngRule(),
     UnorderedIterRule(),
@@ -496,6 +437,15 @@ ALL_RULES: Sequence[Rule] = (
     IoEnvironmentRule(),
     HeapTieBreakerRule(),
 )
+
+# The cross-module families live in their own modules; importing them
+# here (after the helpers and SIM rules they build on are defined) keeps
+# a single registry every caller — engine, CLI, docs — agrees on.
+from .exec_rules import EXEC_RULES  # noqa: E402
+from .seed_rules import SEED_RULES  # noqa: E402
+from .lock_rules import LOCK_RULES  # noqa: E402
+
+ALL_RULES: Sequence[Rule] = (*SIM_RULES, *EXEC_RULES, *SEED_RULES, *LOCK_RULES)
 
 
 def rule_by_id(rule_id: str) -> Rule:

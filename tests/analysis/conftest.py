@@ -35,6 +35,37 @@ def lint_snippet(tmp_path):
     return _lint
 
 
+@pytest.fixture
+def lint_project(tmp_path):
+    """Materialise a multi-file package from ``{relpath: source}`` and lint it.
+
+    The cross-module rule families only see what the collect phase sees,
+    so their tests need several files in one scan.  Every parent
+    directory gets an ``__init__.py`` so module paths normalise exactly
+    as in the real tree (``core/worker.py`` etc.).
+    """
+
+    def _lint(files, config=None, rules=None):
+        package = tmp_path / "pkg"
+        package.mkdir(exist_ok=True)
+        (package / "__init__.py").write_text("")
+        for relpath, source in files.items():
+            target = package / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            current = target.parent
+            while current != package:
+                init = current / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+                current = current.parent
+            target.write_text(textwrap.dedent(source))
+        return analyze_paths(
+            [package], config=config or SimLintConfig(), rules=rules
+        )
+
+    return _lint
+
+
 @pytest.fixture(scope="session")
 def repo_paths():
     """(repo root, src/repro) resolved from this test file's location."""

@@ -110,6 +110,79 @@ def test_parse_suppressions_variants():
     }
 
 
+def test_suppression_covers_multiline_statement_extent():
+    """A comment on the opening line of a parenthesized statement must
+    cover findings reported against its continuation lines (regression:
+    the node's lineno is often the continuation, not the comment line)."""
+    import ast
+
+    source = textwrap.dedent(
+        """
+        x = build(  # sim-lint: disable=SIM001
+            time.time(),
+            other,
+        )
+        y = 1
+        """
+    ).strip()
+    lines = source.splitlines()
+    suppressed = parse_suppressions(lines, ast.parse(source))
+    # lines 1-4 are the statement extent; line 5 is outside it
+    assert suppressed[1] == {"SIM001"}
+    assert suppressed[2] == {"SIM001"}
+    assert suppressed[4] == {"SIM001"}
+    assert 5 not in suppressed
+    # without the tree the comment only covers its own line (old behavior)
+    assert parse_suppressions(lines) == {1: {"SIM001"}}
+
+
+def test_suppression_does_not_leak_over_compound_statements():
+    """A comment on a def/for/with header must NOT suppress the body:
+    extending over compound statements would silence far more than the
+    author wrote the comment against."""
+    import ast
+
+    source = textwrap.dedent(
+        """
+        def f():  # sim-lint: disable=SIM001
+            return time.time()
+        """
+    ).strip()
+    lines = source.splitlines()
+    suppressed = parse_suppressions(lines, ast.parse(source))
+    assert suppressed == {1: {"SIM001"}}
+
+
+def test_multiline_suppression_end_to_end(lint_snippet):
+    """The engine applies extent-aware suppression to real findings."""
+    findings = lint_snippet(
+        """
+        import time
+
+        def f(build, other):
+            return build(  # sim-lint: disable=SIM001 — boot wall-time, display only
+                time.time(),
+                other,
+            )
+        """
+    )
+    assert findings == []
+    # the twin without the comment still fails, on the continuation line
+    findings = lint_snippet(
+        """
+        import time
+
+        def g(build, other):
+            return build(
+                time.time(),
+                other,
+            )
+        """,
+        filename="twin.py",
+    )
+    assert [f.rule for f in findings] == ["SIM001"]
+
+
 def test_fingerprint_ignores_line_numbers():
     a = Finding("SIM001", "p.py", "sim/p.py", 10, 5, "m", "return time.time()")
     b = Finding("SIM001", "p.py", "sim/p.py", 99, 1, "m", "return time.time()")

@@ -1,7 +1,12 @@
 """The gate: the real source tree must be sim-lint clean, with an empty
 baseline, and stay that way."""
 
+import ast
 import json
+import shutil
+from pathlib import Path
+
+import pytest
 
 from repro.analysis import analyze_paths, load_config
 
@@ -48,3 +53,83 @@ def test_an_injected_violation_is_caught(repo_paths, tmp_path):
     assert [f.rule for f in findings] == ["SIM001"]
     assert findings[0].module == "sim/core.py"
     assert findings[0].line > 0 and "time.time" in findings[0].message
+
+
+def _copy_subtree(src_repro, package, subdirs):
+    """Copy real source subpackages into a synthetic package root."""
+    package.mkdir(parents=True, exist_ok=True)
+    (package / "__init__.py").write_text("")
+    for subdir in subdirs:
+        shutil.copytree(src_repro / subdir, package / subdir)
+    return package
+
+
+def _services_method_names():
+    """The Services protocol surface, read from the real tree at collection."""
+    protocols = Path(__file__).resolve().parents[2] / "src/repro/exec/protocols.py"
+    tree = ast.parse(protocols.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Services":
+            return [
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and not item.name.startswith("_")
+            ]
+    raise AssertionError("Services protocol class not found")
+
+
+@pytest.mark.parametrize("method", _services_method_names())
+def test_deleting_any_services_method_fails_conformance(repo_paths, tmp_path, method):
+    """The EXEC103 acceptance criterion: remove any one Services method
+    from the local backend and the conformance lint must fail."""
+    root, src_repro = repo_paths
+    package = _copy_subtree(src_repro, tmp_path / "pkg", ["exec"])
+    local = package / "exec" / "local.py"
+    source = local.read_text()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "LocalServices":
+            target = next(
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == method
+            )
+            break
+    else:
+        raise AssertionError("LocalServices not found")
+    lines = source.splitlines(keepends=True)
+    del lines[target.lineno - 1 : target.end_lineno]
+    local.write_text("".join(lines))
+
+    config = load_config(pyproject=root / "pyproject.toml")
+    findings = analyze_paths([package], config=config)
+    conformance = [f for f in findings if f.rule == "EXEC103"]
+    assert [f.snippet for f in conformance] == [f"LocalServices.{method} (missing)"]
+
+
+def test_injected_cross_module_violations_are_caught(repo_paths, tmp_path):
+    """End-to-end on the real tree: one injected violation per new family."""
+    root, src_repro = repo_paths
+    package = _copy_subtree(src_repro, tmp_path / "pkg", ["exec", "core", "sim", "trace", "storage"])
+
+    # EXEC101/EXEC102: couple a machine module to threading, add a bare yield
+    worker = package / "core" / "worker.py"
+    source = worker.read_text()
+    assert "yield sv.mq_publish(runtime.supervisor_queue, report)" in source
+    source = source.replace(
+        "yield sv.mq_publish(runtime.supervisor_queue, report)",
+        "yield 42\n            yield sv.mq_publish(runtime.supervisor_queue, report)",
+        1,
+    )
+    worker.write_text("import threading  # noqa: F401\n" + source)
+
+    # LOCK101/LOCK103: block while holding a lock in the local backend
+    local = package / "exec" / "local.py"
+    local.write_text(
+        local.read_text()
+        + "\n\ndef _stall(q, state_lock):\n    with state_lock:\n        return q.get()\n"
+    )
+
+    config = load_config(pyproject=root / "pyproject.toml")
+    rules = {f.rule for f in analyze_paths([package], config=config)}
+    assert {"EXEC101", "EXEC102", "LOCK101", "LOCK103"} <= rules
