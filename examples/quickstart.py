@@ -6,12 +6,15 @@ trajectory, the execution time, and the itemized bill.
 
     python examples/quickstart.py
     python examples/quickstart.py --backend local
+    python examples/quickstart.py --backend procs
     python examples/quickstart.py --faults chaos
     python examples/quickstart.py --report /tmp/quickstart.json
     python examples/quickstart.py --trace /tmp/quickstart-trace.json
 
 ``--backend local`` runs the same training logic for real: one thread
 per worker, real queues, wall-clock time — no simulation, no bill.
+``--backend procs`` goes one further: one OS *process* per role with
+gradients in shared memory, so workers use real cores in parallel.
 
 The ``--trace`` file is Chrome trace-event JSON: drag it into
 https://ui.perfetto.dev to see every activation, step, barrier and
@@ -44,9 +47,10 @@ def build_parser():
         "lossless JSONL at PATH.jsonl",
     )
     parser.add_argument(
-        "--backend", choices=["sim", "local"], default="sim",
+        "--backend", choices=["sim", "local", "procs"], default="sim",
         help="execution backend: 'sim' = discrete-event simulation "
-        "(default), 'local' = real threads + wall-clock time",
+        "(default), 'local' = real threads + wall-clock time, "
+        "'procs' = one OS process per role + shared-memory gradients",
     )
     return parser
 
@@ -54,10 +58,12 @@ def build_parser():
 def main(argv=None):
     args = build_parser().parse_args(argv)
     faults = None if args.faults == "off" else FAULT_PROFILES[args.faults]
-    if args.backend == "local" and faults is not None:
-        raise SystemExit("--backend local cannot inject faults (sim-only)")
-    if args.backend == "local" and args.trace is not None:
-        raise SystemExit("--backend local does not support --trace")
+    if args.backend != "sim" and faults is not None:
+        raise SystemExit(
+            f"--backend {args.backend} cannot inject faults (sim-only)"
+        )
+    if args.backend != "sim" and args.trace is not None:
+        raise SystemExit(f"--backend {args.backend} does not support --trace")
 
     spec = MovieLensSpec(
         n_users=500, n_movies=400, n_ratings=40_000, batch_size=500
@@ -86,7 +92,7 @@ def main(argv=None):
         tracer = Tracer()
     result = run_mlless(config, tracer=tracer, backend=args.backend)
 
-    seconds_kind = "real wall-clock" if args.backend == "local" else "simulated"
+    seconds_kind = "simulated" if args.backend == "sim" else "real wall-clock"
     print(f"\nconverged: {result.converged} in {result.total_steps} steps")
     print(f"execution time: {result.exec_time:.1f} {seconds_kind} seconds")
     print(f"mean step duration: {result.mean_step_duration() * 1000:.0f} ms")
@@ -96,9 +102,9 @@ def main(argv=None):
     for i in range(0, len(times), max(1, len(times) // 10)):
         print(f"  t={times[i] - result.started_at:7.2f}s  rmse={losses[i]:.4f}")
 
-    if args.backend == "local":
-        print("\nno bill: the local backend runs on your own threads "
-              "(cost metering is sim-only)")
+    if args.backend != "sim":
+        print(f"\nno bill: the {args.backend} backend runs on your own "
+              "machine (cost metering is sim-only)")
     else:
         print(f"\ntotal cost: ${result.total_cost:.5f}")
         for component, cost in sorted(result.meter.breakdown().items()):

@@ -15,6 +15,13 @@ kernel/merge groups)::
 The platform-scale benchmark is a separate suite with its own CLI
 (``python -m repro.platform``); ``python -m repro.bench platform ...``
 forwards to it, so both suites hang off one entry point.
+
+Host-side subcommands (see :mod:`repro.bench.hostbench`)::
+
+    python -m repro.bench kernel --profile      # DES kernel group +
+                                                # per-event-type breakdown
+    python -m repro.bench backend --workers 4   # local-vs-procs step
+                                                # throughput (CPU-aware gate)
 """
 
 from __future__ import annotations
@@ -103,12 +110,71 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def _kernel_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench kernel",
+        description="DES kernel event-throughput group (simkernel ops).",
+    )
+    parser.add_argument("--name", default="kernel",
+                        help="result name: writes BENCH_<name>.json")
+    parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions, identical workload sizes")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also replay the step-loop workload under the instrumented "
+        "kernel loop and report per-event-type count/time + the "
+        "timeout-delay histogram (embedded in the JSON)",
+    )
+    return parser
+
+
+def _backend_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench backend",
+        description="Step throughput of the local (threads) vs procs "
+        "(processes + shared memory) execution backends on one job.",
+    )
+    parser.add_argument("--name", default="backend",
+                        help="result name: writes BENCH_<name>.json")
+    parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker pool size for both backends")
+    parser.add_argument("--max-steps", type=int, default=25,
+                        help="training steps per run")
+    parser.add_argument("--workload", default="pmf-ml10m",
+                        help="workload name (see repro.cli --list)")
+    parser.add_argument(
+        "--check-ratio", action="store_true",
+        help="fail if procs/local < 1.5x — enforced only on hosts with "
+        ">=4 cpus; single-core runners record numbers and skip the gate",
+    )
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "platform":
         from ..platform.cli import main as platform_main
 
         return platform_main(argv[1:])
+    if argv and argv[0] == "kernel":
+        from .hostbench import run_kernel_bench
+
+        opts = _kernel_parser().parse_args(argv[1:])
+        return run_kernel_bench(
+            name=opts.name, out_dir=opts.out,
+            quick=opts.quick, profile=opts.profile,
+        )
+    if argv and argv[0] == "backend":
+        from .hostbench import run_backend_bench
+
+        opts = _backend_parser().parse_args(argv[1:])
+        return run_backend_bench(
+            name=opts.name, out_dir=opts.out, workers=opts.workers,
+            max_steps=opts.max_steps, workload=opts.workload,
+            check_ratio=opts.check_ratio,
+        )
     args = build_parser().parse_args(argv)
     if args.list_ops:
         for op in ALL_OPS:

@@ -19,6 +19,22 @@ to the compare gate's minimum speedup):
     snapshot.
 ``sim``
     DES event churn (host-side cost of every simulated second).
+``simkernel``
+    DES kernel event throughput at platform scale, shaped like the
+    training machines' event mix: worker step loops (one jittered
+    compute timer + a burst of delay-0 service hops — the MQ poll /
+    filter check / barrier handshake pattern), ``Store`` FIFO handoffs
+    under a populated pending set, and a mixed short/far-horizon load.
+    Delay lists are precomputed in ``make_state`` so the timed region
+    is kernel work, and every op appends small-int markers to a shared
+    log whose hash is the checksum — any delivery-order drift between
+    kernels changes it.  Gated: the timer-wheel kernel must beat the
+    committed ``BENCH_kernel_baseline.json`` (captured on the
+    pre-wheel heapq kernel) by the compare gate's minimum speedup.
+``backend``
+    Execution-backend step throughput (local threads vs procs).  Not
+    gated by ``--compare`` — the procs-vs-local ratio gate is cpu-aware
+    and lives in ``python -m repro.bench backend --check-ratio``.
 ``e2e``
     One small end-to-end MLLess job (the determinism oracle's default
     run); its checksum is the monitor trace digest, so a hot-path
@@ -112,6 +128,180 @@ def _run_churn(_state, _payload):
     return (env.now, 50 * 400)
 
 
+def _simlog(out) -> str:
+    """Order-sensitive checksum over an op's (now, marker-log) output."""
+    now, log = out
+    arr = np.asarray(log, dtype=np.int64)
+    return checksum_bytes(arr.tobytes(), repr((now, arr.size)).encode())
+
+
+def _step_loop_delays() -> List[List[float]]:
+    return [
+        [0.01 + ((i * 31 + j * 17) % 191) / 1000.0 for j in range(10)]
+        for i in range(5_000)
+    ]
+
+
+def _prepare_step_loop(state):
+    """Build the env and spawn all workers *outside* the timed region."""
+    from ..sim import Environment
+
+    log: List[int] = []
+    append = log.append
+
+    def worker(env, i, ds):
+        timeout = env.timeout
+        for d in ds:
+            yield timeout(d)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            append(i)
+
+    env = Environment()
+    for i, ds in enumerate(state):
+        env.process(worker(env, i, ds))
+    return env, log
+
+
+def _run_step_loop(_state, payload):
+    """5k workers x 10 steps: one jittered compute timer + 8 service hops.
+
+    The training-machine event mix: each step sleeps a 10-200 ms
+    compute timer, then burns eight delay-0 schedules (MQ poll, filter
+    check, barrier handshake...).  On the old kernel every delay-0
+    schedule is a new heap minimum, so push *and* pop sift through the
+    full ~5k-deep heap; the new kernel files them in the O(1)
+    now-queue and the timers in wheel buckets.
+    """
+    env, log = payload
+    env.run()
+    return (env.now, log)
+
+
+def _prepare_fifo_handoff(_state):
+    from ..sim import Environment, Store
+
+    log: List[int] = []
+    append = log.append
+
+    def producer(env, store, n):
+        put = store.put
+        for k in range(n):
+            yield put(k)
+
+    def relay(env, src, dst, n):
+        get = src.get
+        put = dst.put
+        for _ in range(n):
+            item = yield get()
+            yield put(item)
+
+    def consumer(env, store, base, n):
+        get = store.get
+        for _ in range(n):
+            item = yield get()
+            append(base + item)
+
+    def anchor(env, i):
+        yield env.timeout(3_600.0 + i)
+
+    env = Environment()
+    for i in range(2_000):
+        env.process(anchor(env, i))
+    for p in range(200):
+        upstream = Store(env)
+        downstream = Store(env)
+        env.process(producer(env, upstream, 300))
+        env.process(relay(env, upstream, downstream, 300))
+        env.process(consumer(env, downstream, p * 1_000, 300))
+    return env, log
+
+
+def _run_fifo_handoff(_state, payload):
+    """200 three-stage pipelines relaying 300 items each through Stores.
+
+    Each item crosses two Store handoffs (producer -> relay ->
+    consumer), the message-queue shape of a parameter-server hop.  2k
+    long "anchor" timers sit in the pending set the whole time, so
+    every delay-0 wakeup on the old kernel is a schedule-through-a-
+    populated-heap round trip; the new kernel turns these into O(1)
+    now-queue handoffs.  The consumer logs every received item, so the
+    checksum pins the full cross-pipeline interleaving.
+    """
+    env, log = payload
+    env.run()
+    return (env.now, log)
+
+
+def _mixed_horizon_delays():
+    pollers = [
+        [0.01 + ((i * 7 + j * 13) % 23) / 1000.0 for j in range(10)]
+        for i in range(4_000)
+    ]
+    stragglers = [
+        [0.02 + ((i * 11 + j * 5) % 37) / 1000.0 for j in range(10)]
+        for i in range(1_000)
+    ]
+    return pollers, stragglers
+
+
+def _prepare_mixed_horizon(state):
+    from ..sim import Environment
+
+    poller_delays, straggler_delays = state
+    log: List[int] = []
+    append = log.append
+
+    def poller(env, i, ds):
+        timeout = env.timeout
+        for d in ds:
+            yield timeout(d)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            yield timeout(0.0)
+            append(i)
+
+    def straggler(env, i, ds):
+        timeout = env.timeout
+        yield timeout(900.0 + i * 0.5)
+        for d in ds:
+            yield timeout(d)
+        append(-1 - i)
+
+    env = Environment()
+    for i, ds in enumerate(poller_delays):
+        env.process(poller(env, i, ds))
+    for i, ds in enumerate(straggler_delays):
+        env.process(straggler(env, i, ds))
+    return env, log
+
+
+def _run_mixed_horizon(_state, payload):
+    """Short pollers + far-future batches: wheel, far heap, re-anchors.
+
+    4k pollers cycle short timers with delay-0 hop bursts; 1k
+    stragglers first sleep past any short-timer horizon (far-heap
+    territory), then churn short timers.  The load alternates between
+    a busy short horizon and an empty one followed by a far batch,
+    exercising the far-timer fallback and wheel re-anchoring paths
+    without disturbing determinism.
+    """
+    env, log = payload
+    env.run()
+    return (env.now, log)
+
+
 def _run_e2e(_state, _payload):
     from ..analysis.determinism import default_run
 
@@ -185,6 +375,33 @@ def _build_ops() -> List[BenchOp]:
             make_state=lambda: None,
             run=_run_churn,
             checksum=lambda out: checksum_bytes(repr(out).encode()),
+        ),
+        BenchOp(
+            name="simkernel.step_loop_450k",
+            group="simkernel",
+            make_state=_step_loop_delays,
+            prepare=_prepare_step_loop,
+            run=_run_step_loop,
+            checksum=_simlog,
+            note="5k workers x (jittered compute timer + 8 delay-0 service hops)",
+        ),
+        BenchOp(
+            name="simkernel.fifo_pipeline_240k",
+            group="simkernel",
+            make_state=lambda: None,
+            prepare=_prepare_fifo_handoff,
+            run=_run_fifo_handoff,
+            checksum=_simlog,
+            note="three-stage Store relay pipelines with 2k far timers pending",
+        ),
+        BenchOp(
+            name="simkernel.mixed_horizon_371k",
+            group="simkernel",
+            make_state=_mixed_horizon_delays,
+            prepare=_prepare_mixed_horizon,
+            run=_run_mixed_horizon,
+            checksum=_simlog,
+            note="4k short-horizon pollers + 1k far stragglers (re-anchor path)",
         ),
         BenchOp(
             name="e2e.quickstart_pmf",

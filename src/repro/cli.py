@@ -61,9 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(Perfetto-loadable), lossless JSONL at PATH.jsonl",
     )
     parser.add_argument(
-        "--backend", choices=["sim", "local"], default="sim",
+        "--backend", choices=["sim", "local", "procs"], default="sim",
         help="execution backend (mlless only): 'sim' = discrete-event "
-        "simulation (default), 'local' = real threads + wall-clock time",
+        "simulation (default), 'local' = real threads + wall-clock time, "
+        "'procs' = one OS process per role + shared-memory gradients",
     )
     parser.add_argument("--list", action="store_true",
                         help="list workloads and exit")
@@ -106,17 +107,18 @@ def main(argv=None) -> int:
     if args.trace is not None and args.system != "mlless":
         print("--trace is only supported with --system mlless", file=sys.stderr)
         return 2
-    if args.backend == "local":
+    if args.backend in ("local", "procs"):
         if args.system != "mlless":
-            print("--backend local is only supported with --system mlless",
-                  file=sys.stderr)
+            print(f"--backend {args.backend} is only supported with "
+                  "--system mlless", file=sys.stderr)
             return 2
         if profile is not None:
-            print("--backend local cannot inject faults (use the sim backend)",
-                  file=sys.stderr)
+            print(f"--backend {args.backend} cannot inject faults "
+                  "(use the sim backend)", file=sys.stderr)
             return 2
         if args.trace is not None:
-            print("--backend local does not support --trace", file=sys.stderr)
+            print(f"--backend {args.backend} does not support --trace",
+                  file=sys.stderr)
             return 2
 
     tracer = None
@@ -144,9 +146,9 @@ def main(argv=None) -> int:
         )
 
     print(render_table([result.summary()], "result"))
-    if args.backend == "local":
-        print(f"(local backend: {result.exec_time:.2f}s real wall-clock, "
-              "no billed platform — cost metering is sim-only)")
+    if args.backend in ("local", "procs"):
+        print(f"({args.backend} backend: {result.exec_time:.2f}s real "
+              "wall-clock, no billed platform — cost metering is sim-only)")
     else:
         print(render_table(
             [{"component": k, "cost_usd": round(v, 6)}

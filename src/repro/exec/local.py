@@ -49,6 +49,7 @@ from ..core.worker import worker_loop
 from ..pricing import CostMeter
 from ..sim import Monitor
 from ..storage.errors import BucketNotFound, KeyNotFound, StorageError
+from .deadline import Deadline
 from .protocols import ExecutionContext, Machine
 
 __all__ = [
@@ -187,11 +188,12 @@ class LocalMessageQueue:
 
     def consume(self, name: str) -> Dict[str, Any]:
         """Blocking consume, bounded so deadlocks fail instead of hanging."""
+        deadline = Deadline(_CONSUME_DEADLINE_S)
         try:
-            return self._queue(name).get(timeout=_CONSUME_DEADLINE_S)
+            return self._queue(name).get(timeout=deadline.remaining())
         except Empty:
             raise StorageError(
-                f"consume on {name!r} exceeded the {_CONSUME_DEADLINE_S:.0f}s "
+                f"consume on {name!r} exceeded the {deadline.budget_s:.0f}s "
                 "local-backend deadline (deadlocked run?)"
             ) from None
 
@@ -432,13 +434,17 @@ def run_local_job(
     for thread in workers:
         thread.start()
 
-    supervisor.join(timeout=max_duration_s)
+    job_deadline = Deadline(max_duration_s)
+    supervisor.join(timeout=job_deadline.remaining())
     if supervisor.is_alive():
         raise StorageError(
             f"local supervisor did not finish within {max_duration_s:.0f}s"
         )
+    # One drain budget shared by *all* worker joins: a field of stuck
+    # workers costs 30 s total, not 30 s each.
+    drain = Deadline(_WORKER_DRAIN_GRACE_S)
     for thread in workers:
-        thread.join(timeout=_WORKER_DRAIN_GRACE_S)
+        thread.join(timeout=drain.remaining())
     finished_at = clock.now()
 
     if errors:

@@ -1,0 +1,799 @@
+"""Process execution backend: true parallelism across OS processes.
+
+The third execution backend.  The *same* generator machines that run on
+the DES (:mod:`repro.exec.sim`) and on threads (:mod:`repro.exec.local`)
+run here one OS process per role, so worker gradient math executes in
+parallel on real cores instead of interleaving under the GIL.  The
+token protocol is identical to the local backend: a
+:class:`ProcServices` method returns a **blocking closure**; the local
+backend's :func:`~repro.exec.local.drive` calls it inside the child and
+feeds the result back into the machine.
+
+Substrate, piece by piece:
+
+* **Processes** are forked (``multiprocessing`` fork context), so the
+  staged dataset and the job config are inherited copy-on-write —
+  children never re-pickle mini-batches, and ``cos_get`` in a child is
+  a zero-copy dict lookup exactly as in the local backend.
+* **Message queues** are per-name ``multiprocessing.Queue`` FIFOs
+  created before the fork; consumes are bounded by the shared
+  :class:`~repro.exec.deadline.Deadline` discipline so a deadlocked run
+  fails loudly.
+* **KV store and exchange bindings** live in a control-server *thread
+  in the parent* that owns a plain dict and answers request/reply
+  queues.  ``kv_set`` is a synchronous round trip (the happens-before
+  edge workers rely on: set the update, then announce it), while
+  ``kv_delete`` — only used by detached GC sweeps — is fire-and-forget.
+* **Model/gradient buffers** go through a :class:`ShmArena`: one
+  ``multiprocessing.shared_memory`` block whose per-tensor layout is
+  negotiated at spawn.  A worker's significant update is written into
+  a parity slot (``step % 2`` — safe under the BSP barrier, which
+  guarantees step ``s`` updates are consumed before step ``s + 2``
+  exists) and readers reconstruct **zero-copy NumPy views** over the
+  block; only a tiny descriptor crosses the control queue.  Dense
+  replica hand-offs (``departed/…`` keys) use per-worker dense slots
+  the same way.  SSP's staleness window breaks the parity argument, so
+  SSP jobs skip the arena and pickle updates through the control
+  server instead.
+
+Like the local backend this module is host-side by design: wall-clock
+reads and real concurrency primitives are legal here, it is excluded
+from sim-lint's ``simulated-layers``, and it is covered by the LOCK1xx
+lock-hygiene rules instead.  Fault injection is rejected for the same
+reason as in ``exec/local.py``; cost metering is empty (no billed
+platform).  Relaunch/resume works unchanged: a role that returns the
+relaunch marker is re-entered in place, and because checkpoints travel
+through the parent-held KV server they survive even the *death* of a
+role process — a replacement process resumes from the checkpoint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from multiprocessing import shared_memory
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.history import RunResult
+from ..core.runtime import JobRuntime
+from ..core.ssp import ssp_supervisor_loop, ssp_worker_loop
+from ..core.supervisor import supervisor_loop
+from ..core.worker import worker_loop
+from ..ml.parameters import ModelUpdate, ParameterSet
+from ..ml.sparse import SparseDelta
+from ..pricing import CostMeter
+from ..sim import Monitor
+from ..storage.errors import KeyNotFound, StorageError
+from .deadline import Deadline
+from .local import (
+    DATA_BUCKET,
+    LocalClock,
+    LocalObjectStore,
+    LocalSpawner,
+    drive,
+    _CONSUME_DEADLINE_S,
+    _WORKER_DRAIN_GRACE_S,
+)
+from .protocols import ExecutionContext
+
+__all__ = [
+    "ShmArena",
+    "ProcKVClient",
+    "ProcMessageQueue",
+    "ProcServices",
+    "ProcExecutionContext",
+    "run_procs_job",
+]
+
+#: descriptor tags for shared-memory-resident KV values
+_SHM_UPDATE = "shm-update"
+_SHM_DENSE = "shm-dense"
+
+#: how long the parent waits for role results beyond the job deadline
+_RESULT_POLL_S = 1.0
+
+
+# -- shared-memory arena ----------------------------------------------------
+
+
+class ShmArena:
+    """Spawn-negotiated shared-memory layout for update/replica tensors.
+
+    One block, three regions per worker: two *update parity slots*
+    (sparse ``[indices int64[cap] | values float64[cap]]`` per tensor,
+    ``cap`` = the tensor's dense size — the filter can at worst mark
+    every entry significant) and one *dense replica slot* (``float64``
+    per tensor).  All offsets are fixed at construction from the
+    model's parameter shapes, so writers and readers in different
+    processes agree on the layout with no further negotiation.
+
+    Readers get NumPy views directly over the shared block
+    (``SparseDelta._trusted`` / ``ParameterSet`` of views): zero copy,
+    zero pickling.  The BSP barrier makes the parity reuse safe; see
+    the module docstring.
+    """
+
+    def __init__(self, shapes: Dict[str, Tuple[int, ...]], n_workers: int):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.names: List[str] = sorted(shapes)
+        self.shapes = {name: tuple(shapes[name]) for name in self.names}
+        self.caps = {
+            name: int(np.prod(self.shapes[name], dtype=np.int64))
+            for name in self.names
+        }
+        self.n_workers = n_workers
+        total_cap = sum(self.caps.values())
+        #: bytes of one sparse parity slot / one dense replica slot
+        self._update_stride = total_cap * 16  # int64 indices + float64 values
+        self._dense_stride = total_cap * 8
+        self._dense_base = n_workers * 2 * self._update_stride
+        size = max(1, self._dense_base + n_workers * self._dense_stride)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._closed = False
+
+    # -- layout ----------------------------------------------------------
+    def _update_offsets(self, worker: int, parity: int, name: str) -> Tuple[int, int]:
+        """(indices_offset, values_offset) of one tensor in one slot."""
+        base = (worker * 2 + parity) * self._update_stride
+        for n in self.names:
+            if n == name:
+                return base, base + self.caps[name] * 8
+            base += self.caps[n] * 16
+        raise KeyError(f"arena was not negotiated for tensor {name!r}")
+
+    def _dense_offset(self, worker: int, name: str) -> int:
+        base = self._dense_base + worker * self._dense_stride
+        for n in self.names:
+            if n == name:
+                return base
+            base += self.caps[n] * 8
+        raise KeyError(f"arena was not negotiated for tensor {name!r}")
+
+    # -- sparse update slots ---------------------------------------------
+    def write_update(self, worker: int, parity: int, update: ModelUpdate) -> Any:
+        """Copy an update's tensors into a parity slot; returns the descriptor."""
+        entries = []
+        buf = self._shm.buf
+        for name, delta in update:
+            if name not in self.caps:
+                raise StorageError(f"arena was not negotiated for tensor {name!r}")
+            nnz = delta.nnz
+            if nnz > self.caps[name]:
+                raise StorageError(
+                    f"update for {name!r} has nnz={nnz} > negotiated "
+                    f"capacity {self.caps[name]}"
+                )
+            idx_off, val_off = self._update_offsets(worker, parity, name)
+            idx_view = np.frombuffer(buf, np.int64, count=nnz, offset=idx_off)
+            val_view = np.frombuffer(buf, np.float64, count=nnz, offset=val_off)
+            idx_view[:] = delta.indices
+            val_view[:] = delta.values
+            entries.append(
+                (name, delta.shape, nnz, bool(delta.has_sorted_unique_indices))
+            )
+        return (_SHM_UPDATE, worker, parity, entries)
+
+    def read_update(self, descriptor: Any) -> ModelUpdate:
+        """Zero-copy :class:`ModelUpdate` over a parity slot's views."""
+        _tag, worker, parity, entries = descriptor
+        buf = self._shm.buf
+        deltas = {}
+        for name, shape, nnz, sorted_unique in entries:
+            idx_off, val_off = self._update_offsets(worker, parity, name)
+            deltas[name] = SparseDelta._trusted(
+                np.frombuffer(buf, np.int64, count=nnz, offset=idx_off),
+                np.frombuffer(buf, np.float64, count=nnz, offset=val_off),
+                tuple(shape),
+                sorted_unique=sorted_unique,
+            )
+        return ModelUpdate(deltas)
+
+    # -- dense replica slots ---------------------------------------------
+    def write_dense(self, worker: int, params: ParameterSet) -> Any:
+        """Copy a full parameter set into the worker's dense slot."""
+        entries = []
+        buf = self._shm.buf
+        for name, shape in params.shapes().items():
+            if name not in self.caps:
+                raise StorageError(f"arena was not negotiated for tensor {name!r}")
+            offset = self._dense_offset(worker, name)
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(buf, np.float64, count=count, offset=offset)
+            view[:] = params[name].ravel()
+            entries.append((name, tuple(shape)))
+        return (_SHM_DENSE, worker, entries)
+
+    def read_dense(self, descriptor: Any) -> ParameterSet:
+        """Zero-copy :class:`ParameterSet` of views over a dense slot."""
+        _tag, worker, entries = descriptor
+        buf = self._shm.buf
+        tensors = {}
+        for name, shape in entries:
+            offset = self._dense_offset(worker, name)
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(buf, np.float64, count=count, offset=offset)
+            tensors[name] = view.reshape(shape)
+        return ParameterSet(tensors)
+
+    def resolve(self, value: Any) -> Any:
+        """Reconstruct a shm descriptor into its zero-copy object."""
+        if isinstance(value, tuple) and value:
+            if value[0] == _SHM_UPDATE:
+                return self.read_update(value)
+            if value[0] == _SHM_DENSE:
+                return self.read_dense(value)
+        return value
+
+    def close(self, unlink: bool = False) -> None:
+        """Drop this process's mapping; ``unlink=True`` frees the block.
+
+        Only the parent unlinks, and only after every child has been
+        joined — a child closing the segment would invalidate live
+        views held by machines still running.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if unlink:
+            self._shm.unlink()
+
+
+# -- control server (parent-side thread) ------------------------------------
+
+
+class _ControlServer(threading.Thread):
+    """Parent thread owning the KV dict and the exchange binding list.
+
+    Children talk to it over one shared request queue and per-client
+    reply queues; values are (de)pickled by the queues themselves.
+    Single-threaded by construction, so KV semantics are sequentially
+    consistent without any locking — the whole reason it is a server
+    rather than a shared structure.
+    """
+
+    def __init__(
+        self,
+        request_q: Any,
+        reply_qs: List[Any],
+        bindings: List[str],
+    ):
+        super().__init__(name="procs-control", daemon=True)
+        self._request_q = request_q
+        self._reply_qs = reply_qs
+        self._data: Dict[str, Any] = {}
+        self._bindings: List[str] = list(bindings)
+        self._stop_event = threading.Event()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+    def run(self) -> None:
+        while True:
+            try:
+                client, op, args = self._request_q.get(timeout=0.2)
+            except Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            reply = self._handle(op, args)
+            if reply is not None:
+                self._reply_qs[client].put(reply)
+
+    def _handle(self, op: str, args: Tuple[Any, ...]) -> Optional[Tuple[str, Any]]:
+        data = self._data
+        if op == "set" or op == "set_shm":
+            key, value = args
+            data[key] = value
+            return ("ok", None)
+        if op == "get":
+            (key,) = args
+            if key not in data:
+                return ("missing", key)
+            return ("ok", data[key])
+        if op == "get_or_none":
+            (key,) = args
+            return ("ok", data.get(key))
+        if op == "exists":
+            (key,) = args
+            return ("ok", key in data)
+        if op == "delete":
+            (key,) = args
+            data.pop(key, None)
+            return None  # fire-and-forget (GC sweeps)
+        if op == "unbind":
+            (queue,) = args
+            if queue in self._bindings:
+                self._bindings.remove(queue)
+            return ("ok", None)
+        if op == "bind":
+            (queue,) = args
+            if queue not in self._bindings:
+                self._bindings.append(queue)
+            return ("ok", None)
+        if op == "bindings":
+            return ("ok", list(self._bindings))
+        return ("error", f"unknown control op {op!r}")
+
+
+class ProcKVClient:
+    """One role's request/reply channel to the parent control server.
+
+    Each process owns exactly one client (one reply queue), and each
+    role runs its round trips from a single thread — detached spawns
+    only issue fire-and-forget deletes — so replies can never
+    interleave.
+    """
+
+    __slots__ = ("_client_id", "_request_q", "_reply_q", "arena")
+
+    def __init__(
+        self,
+        client_id: int,
+        request_q: Any,
+        reply_q: Any,
+        arena: Optional[ShmArena] = None,
+    ):
+        self._client_id = client_id
+        self._request_q = request_q
+        self._reply_q = reply_q
+        self.arena = arena
+
+    def _call(self, op: str, *args: Any) -> Any:
+        """Synchronous round trip, deadline-bounded like every blocking call."""
+        self._request_q.put((self._client_id, op, args))
+        deadline = Deadline(_CONSUME_DEADLINE_S)
+        try:
+            status, payload = self._reply_q.get(timeout=deadline.remaining())
+        except Empty:
+            raise StorageError(
+                f"control {op!r} exceeded the {deadline.budget_s:.0f}s "
+                "procs-backend deadline (dead control server?)"
+            ) from None
+        if status == "missing":
+            raise KeyNotFound(payload, where="procs-kv")
+        if status == "error":
+            raise StorageError(payload)
+        return payload
+
+    # -- KV verbs --------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        arena = self.arena
+        if arena is not None:
+            route = _shm_route(key, value)
+            if route is not None:
+                kind, step, worker = route
+                if kind == _SHM_UPDATE:
+                    descriptor = arena.write_update(worker, step & 1, value)
+                else:
+                    descriptor = arena.write_dense(worker, value)
+                self._call("set_shm", key, descriptor)
+                return
+        self._call("set", key, value)
+
+    def get(self, key: str) -> Any:
+        value = self._call("get", key)
+        return self.arena.resolve(value) if self.arena is not None else value
+
+    def get_or_none(self, key: str) -> Optional[Any]:
+        value = self._call("get_or_none", key)
+        return self.arena.resolve(value) if self.arena is not None else value
+
+    def delete(self, key: str) -> None:
+        # Fire-and-forget: only detached GC sweeps delete, and a lost
+        # delete merely leaks a descriptor, never corrupts state.
+        self._request_q.put((self._client_id, "delete", (key,)))
+
+    def exists(self, key: str) -> bool:
+        return bool(self._call("exists", key))
+
+    # -- exchange verbs --------------------------------------------------
+    def bind(self, queue: str) -> None:
+        self._call("bind", queue)
+
+    def unbind(self, queue: str) -> None:
+        self._call("unbind", queue)
+
+    def bindings(self) -> List[str]:
+        return list(self._call("bindings"))
+
+
+def _shm_route(key: str, value: Any) -> Optional[Tuple[str, int, int]]:
+    """Classify a KV write as arena-resident: (tag, step, worker) or None.
+
+    Update keys (``upd/{step}/{worker}`` carrying a
+    :class:`ModelUpdate`) go to parity slots; replica keys
+    (``departed/{step}/{worker}`` carrying a :class:`ParameterSet`) go
+    to dense slots.  Everything else — checkpoints above all — pickles
+    through the control server.
+    """
+    parts = key.split("/")
+    if len(parts) != 3:
+        return None
+    prefix, step_s, worker_s = parts
+    try:
+        step, worker = int(step_s), int(worker_s)
+    except ValueError:
+        return None
+    if prefix == "upd" and isinstance(value, ModelUpdate):
+        return (_SHM_UPDATE, step, worker)
+    if prefix == "departed" and isinstance(value, ParameterSet):
+        return (_SHM_DENSE, step, worker)
+    return None
+
+
+# -- message queues ----------------------------------------------------------
+
+
+class ProcMessageQueue:
+    """Named FIFO queues over ``multiprocessing.Queue``.
+
+    All queues are declared in the parent **before** the fork, so every
+    child inherits the same handles; a declare after spawn could not
+    reach already-running children and is rejected.
+    """
+
+    def __init__(self, ctx: Any):
+        self._ctx = ctx
+        self._queues: Dict[str, Any] = {}
+        self._sealed = False
+
+    def declare(self, name: str) -> None:
+        if name in self._queues:
+            return
+        if self._sealed:
+            raise StorageError(
+                f"queue {name!r} declared after spawn — procs queues must "
+                "all exist before the fork"
+            )
+        self._queues[name] = self._ctx.Queue()
+
+    def seal(self) -> None:
+        """Called by the parent just before forking the role processes."""
+        self._sealed = True
+
+    def _queue(self, name: str) -> Any:
+        queue = self._queues.get(name)
+        if queue is None:
+            raise StorageError(f"queue {name!r} was never declared")
+        return queue
+
+    def publish(self, name: str, message: Dict[str, Any]) -> None:
+        self._queue(name).put(message)
+
+    def consume(self, name: str) -> Dict[str, Any]:
+        """Blocking consume, bounded so deadlocks fail instead of hanging."""
+        deadline = Deadline(_CONSUME_DEADLINE_S)
+        try:
+            return self._queue(name).get(timeout=deadline.remaining())
+        except Empty:
+            raise StorageError(
+                f"consume on {name!r} exceeded the {deadline.budget_s:.0f}s "
+                "procs-backend deadline (deadlocked run?)"
+            ) from None
+
+    def consume_with_timeout(
+        self, name: str, timeout_s: float
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            return self._queue(name).get(timeout=max(timeout_s, 0.0))
+        except Empty:
+            return None
+
+    def drain(self, name: str) -> List[Dict[str, Any]]:
+        queue = self._queue(name)
+        out: List[Dict[str, Any]] = []
+        while True:
+            try:
+                out.append(queue.get_nowait())
+            except Empty:
+                return out
+
+
+# -- the Services implementation ---------------------------------------------
+
+
+class ProcServices:
+    """:class:`~repro.exec.protocols.Services` across process boundaries.
+
+    Same token protocol as :class:`~repro.exec.local.LocalServices`:
+    every data-plane method returns a zero-argument blocking closure,
+    resolved by :func:`~repro.exec.local.drive` on the role's process.
+    """
+
+    __slots__ = ("cos", "kv", "mq")
+
+    def __init__(
+        self,
+        cos: LocalObjectStore,
+        kv: ProcKVClient,
+        mq: ProcMessageQueue,
+    ):
+        self.cos = cos
+        self.kv = kv
+        # The exchange has no object of its own: bindings live in the
+        # control server (shared, mutable) and fan-out publishes go
+        # straight to the member queues from the caller's process.
+        self.mq = mq
+
+    # -- object store ----------------------------------------------------
+    def cos_get(self, bucket: str, key: str) -> Callable[[], Any]:
+        return lambda: self.cos.get(bucket, key)
+
+    # -- KV store --------------------------------------------------------
+    def kv_set(self, key: str, value: Any) -> Callable[[], None]:
+        return lambda: self.kv.set(key, value)
+
+    def kv_get(self, key: str) -> Callable[[], Any]:
+        return lambda: self.kv.get(key)
+
+    def kv_get_or_none(self, key: str) -> Callable[[], Optional[Any]]:
+        return lambda: self.kv.get_or_none(key)
+
+    def kv_delete(self, key: str) -> Callable[[], None]:
+        return lambda: self.kv.delete(key)
+
+    def kv_exists(self, key: str) -> Callable[[], bool]:
+        return lambda: self.kv.exists(key)
+
+    # -- message queue ---------------------------------------------------
+    def mq_publish(self, queue: str, message: Dict[str, Any]) -> Callable[[], None]:
+        return lambda: self.mq.publish(queue, message)
+
+    def mq_consume(self, queue: str) -> Callable[[], Dict[str, Any]]:
+        return lambda: self.mq.consume(queue)
+
+    def mq_consume_with_timeout(
+        self, queue: str, timeout_s: float
+    ) -> Callable[[], Optional[Dict[str, Any]]]:
+        return lambda: self.mq.consume_with_timeout(queue, timeout_s)
+
+    def mq_drain(self, queue: str) -> Callable[[], List[Dict[str, Any]]]:
+        return lambda: self.mq.drain(queue)
+
+    # -- broadcast exchange ----------------------------------------------
+    def broadcast(
+        self, message: Dict[str, Any], exclude: str = ""
+    ) -> Callable[[], None]:
+        def _publish() -> None:
+            for queue in self.kv.bindings():
+                if queue != exclude:
+                    self.mq.publish(queue, message)
+
+        return _publish
+
+    def unbind(self, queue: str) -> None:
+        self.kv.unbind(queue)
+
+    # -- execution accounting --------------------------------------------
+    def compute(self, cpu_seconds: float) -> Callable[[], None]:
+        """As in the local backend: the numpy arithmetic itself takes the
+        real CPU time; the calibrated estimate is discarded."""
+        return lambda: None
+
+    def sleep(self, seconds: float) -> Callable[[], None]:
+        return lambda: time.sleep(seconds)
+
+
+class ProcExecutionContext(ExecutionContext):
+    """One per role process; the services inside carry that role's client."""
+
+
+# -- role processes ----------------------------------------------------------
+
+
+def _role_main(
+    loop_fn: Callable[[ExecutionContext, Dict[str, Any]], Any],
+    ectx: ExecutionContext,
+    payload: Dict[str, Any],
+    role: str,
+    results_q: Any,
+) -> None:
+    """Process target: drive a role, re-entering on relaunch markers.
+
+    Mirrors the local backend's ``_run_role``; the supervisor ships its
+    monitor back with the result (it mutated a copy-on-write copy the
+    parent never sees).
+    """
+    try:
+        while True:
+            result = drive(loop_fn(ectx, payload))
+            if isinstance(result, dict) and result.get("outcome") == "relaunch":
+                payload = {**payload, "resume": True}
+                continue
+            break
+        monitor = payload["runtime"].monitor if role == "supervisor" else None
+        results_q.put((role, result, monitor))
+    except BaseException as error:  # surfaced to the parent after join
+        results_q.put((role, {"outcome": "error", "error": repr(error)}, None))
+
+
+def _negotiated_shapes(config: Any) -> Dict[str, Tuple[int, ...]]:
+    """Per-tensor shapes for the arena layout, from the worker's own init.
+
+    Reuses ``core.worker._fresh_checkpoint`` (the seeded-init path every
+    worker runs) so the negotiated layout is by construction the layout
+    the workers will produce.
+    """
+    from types import SimpleNamespace
+
+    from ..core.worker import _fresh_checkpoint
+
+    probe = _fresh_checkpoint(SimpleNamespace(config=config), 0)
+    return probe.params.shapes()
+
+
+def run_procs_job(config: Any, max_duration_s: float = 600.0) -> RunResult:
+    """Train one MLLess job for real, one OS process per role.
+
+    Parent-side choreography: stage the dataset and create every shared
+    structure *before* the fork (queues, reply channels, the shm
+    arena), fork one daemon process per role, then start the control
+    server thread — started strictly after the fork so no thread can
+    hold a queue lock at fork time.  Results and the supervisor's
+    monitor come back over a results queue; joins share deadlines so a
+    field of stuck workers costs one grace budget, not one each.
+    """
+    if config.faults is not None and not config.faults.is_noop():
+        raise ValueError(
+            "the procs backend cannot inject faults — fault profiles "
+            "sample simulated RNG streams and steer simulated time; "
+            "run fault experiments on the sim backend"
+        )
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        raise StorageError(
+            "the procs backend requires the fork start method "
+            "(copy-on-write dataset staging); this platform has none"
+        ) from None
+
+    cos = LocalObjectStore()
+    clock = LocalClock(max_duration_s=max_duration_s)
+    batch_keys = config.dataset.stage(cos, DATA_BUCKET)
+
+    n_workers = config.n_workers
+    n_roles = 1 + n_workers  # supervisor + workers
+    request_q = ctx.Queue()
+    results_q = ctx.Queue()
+    #: one reply queue per role, plus one for the parent itself
+    reply_qs = [ctx.Queue() for _ in range(n_roles + 1)]
+
+    # SSP's staleness window breaks the parity-slot reuse argument, so
+    # only barrier-synchronized jobs negotiate the shm arena.
+    arena = (
+        ShmArena(_negotiated_shapes(config), n_workers)
+        if config.sync != "ssp"
+        else None
+    )
+
+    mq = ProcMessageQueue(ctx)
+    parent_kv = ProcKVClient(n_roles, request_q, reply_qs[n_roles], arena)
+    runtime = JobRuntime(
+        config=config,
+        cos=cos,
+        kv=parent_kv,
+        mq=mq,
+        exchange=parent_kv,  # bindings live in the control server
+        bucket=DATA_BUCKET,
+        batch_keys=batch_keys,
+        partitions=config.dataset.partition(n_workers),
+        monitor=Monitor(),
+    )
+
+    mq.declare(runtime.supervisor_queue)
+    bindings = []
+    for w in range(n_workers):
+        queue = runtime.worker_queue(w)
+        mq.declare(queue)
+        bindings.append(queue)
+    mq.seal()
+
+    if config.sync == "ssp":
+        worker_fn, supervisor_fn = ssp_worker_loop, ssp_supervisor_loop
+    else:
+        worker_fn, supervisor_fn = worker_loop, supervisor_loop
+
+    def role_process(role_idx: int, role: str, loop_fn, payload) -> Any:
+        kv = ProcKVClient(role_idx, request_q, reply_qs[role_idx], arena)
+        ectx = ProcExecutionContext(
+            services=ProcServices(cos, kv, mq),
+            clock=clock,
+            spawner=LocalSpawner(),
+        )
+        return ctx.Process(
+            target=_role_main,
+            args=(loop_fn, ectx, payload, role, results_q),
+            name=f"role-{role}",
+            daemon=True,
+        )
+
+    supervisor = role_process(
+        0, "supervisor", supervisor_fn, {"runtime": runtime}
+    )
+    workers = [
+        role_process(
+            1 + w, f"worker-{w}", worker_fn,
+            {"runtime": runtime, "worker_id": w},
+        )
+        for w in range(n_workers)
+    ]
+
+    started_at = clock.now()
+    supervisor.start()
+    for proc in workers:
+        proc.start()
+    # Strictly after the fork: a running server thread could hold a
+    # queue's internal lock at fork time and deadlock every child.
+    server = _ControlServer(request_q, reply_qs, bindings)
+    server.start()
+
+    results: Dict[str, Any] = {}
+    monitor: Optional[Monitor] = None
+    job_deadline = Deadline(max_duration_s)
+    try:
+        while len(results) < n_roles and not job_deadline.expired():
+            try:
+                role, result, shipped = results_q.get(
+                    timeout=min(_RESULT_POLL_S, max(job_deadline.remaining(), 0.05))
+                )
+            except Empty:
+                continue
+            results[role] = result
+            if shipped is not None:
+                monitor = shipped
+
+        supervisor.join(timeout=job_deadline.remaining())
+        if supervisor.is_alive() or "supervisor" not in results:
+            raise StorageError(
+                f"procs supervisor did not finish within {max_duration_s:.0f}s"
+            )
+        # One drain budget shared by *all* worker joins (Deadline
+        # discipline — 30 s total, not 30 s per worker).
+        drain = Deadline(_WORKER_DRAIN_GRACE_S)
+        for proc in workers:
+            proc.join(timeout=drain.remaining())
+        finished_at = clock.now()
+        drained = sum(1 for proc in workers if not proc.is_alive())
+    finally:
+        for proc in (supervisor, *workers):
+            if proc.is_alive():
+                proc.terminate()
+        reap = Deadline(_WORKER_DRAIN_GRACE_S)
+        for proc in (supervisor, *workers):
+            proc.join(timeout=reap.remaining())
+        server.stop()
+        server.join(timeout=5.0)
+        if arena is not None:
+            arena.close(unlink=True)
+
+    failures = [
+        (role, result)
+        for role, result in results.items()
+        if isinstance(result, dict) and result.get("outcome") == "error"
+    ]
+    if failures:
+        role, result = failures[0]
+        raise StorageError(f"procs role {role} failed: {result.get('error')}")
+
+    report = results.get("supervisor") or {}
+    extras = {
+        "stop_reason_is_target": float(report.get("converged", False)),
+        "workers_drained": float(drained),
+    }
+    return RunResult(
+        system="mlless-procs",
+        monitor=monitor if monitor is not None else runtime.monitor,
+        meter=CostMeter(),
+        started_at=started_at,
+        finished_at=finished_at,
+        converged=bool(report.get("converged")),
+        final_loss=report.get("final_loss"),
+        total_steps=int(report.get("steps", 0)),
+        extras=extras,
+    )

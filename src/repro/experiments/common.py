@@ -99,17 +99,28 @@ def run_mlless(
     world; ``backend="local"`` runs the same training machines for real
     on threads (:func:`repro.exec.local.run_local_job`) — no simulated
     world, no fault injection, no tracer, genuine wall-clock timings.
+    ``backend="procs"`` runs them for real with one OS process per role
+    (:func:`repro.exec.procs.run_procs_job`), gradients in shared
+    memory — the true-parallel path, same restrictions as ``local``.
     """
-    if backend == "local":
+    if backend in ("local", "procs"):
         if world is not None:
-            raise ValueError("backend='local' does not take a simulation world")
+            raise ValueError(
+                f"backend={backend!r} does not take a simulation world"
+            )
         if tracer is not None:
-            raise ValueError("backend='local' does not support span tracing")
+            raise ValueError(f"backend={backend!r} does not support span tracing")
+        if backend == "procs":
+            from ..exec.procs import run_procs_job
+
+            return run_procs_job(config)
         from ..exec.local import run_local_job
 
         return run_local_job(config)
     if backend != "sim":
-        raise ValueError(f"unknown backend {backend!r} (expected 'sim' or 'local')")
+        raise ValueError(
+            f"unknown backend {backend!r} (expected 'sim', 'local' or 'procs')"
+        )
     if world is None:
         world = build_world(seed=config.seed, faults=config.faults, tracer=tracer)
     runtime = make_runtime(world, config)

@@ -7,7 +7,7 @@ services, VM clusters) can run on a deterministic simulated clock.
 The central pieces are:
 
 ``Environment``
-    Owns the simulated clock and the pending-event queue, and drives the
+    Owns the simulated clock and the pending-event set, and drives the
     simulation forward with :meth:`Environment.run` / :meth:`Environment.step`.
 
 ``Event``
@@ -23,12 +23,72 @@ The central pieces are:
 Determinism: events scheduled for the same simulated time fire in FIFO
 order of scheduling (ties broken by a monotonically increasing sequence
 number), so runs are exactly reproducible.
+
+Pending-event structure
+-----------------------
+
+The kernel delivers events in ``(time, seq)`` order from four containers
+instead of one global heap, because the platform-scale workloads keep
+thousands of timers pending while delay-zero handoffs churn:
+
+``_nowq``
+    A deque of delay-zero schedules (``succeed``/``fail`` wakeups, Store
+    handoffs).  Simulated time never moves backwards and ``seq`` is
+    monotone, so the deque is sorted by construction and a wakeup is an
+    O(1) append/popleft instead of a push through a populated heap.
+
+``_wheel``
+    A circular timer wheel of :data:`_WHEEL_SIZE` buckets, each
+    :data:`_WHEEL_QUANTUM` seconds wide, holding short-delay timeouts
+    (the dominant event class).  Bucket indices are *unwrapped* (the
+    physical slot is ``idx & _WHEEL_MASK``), so slots behind the cursor
+    belong to the next rotation and the usable horizon is always the
+    full wheel span.  Insert is an O(1) ``list.append``; a small side
+    heap (``_wheel_occ``) of *occupied bucket indices* — pushed only on
+    a bucket's empty-to-nonempty transition — lets the flush jump
+    straight to the next occupied bucket instead of scanning empties,
+    so sparse timelines (one pending timer, second-scale gaps) cost
+    O(log occupied-buckets), not O(elapsed-time / quantum).  A bucket
+    is sorted once (C timsort) when the clock reaches it and drained
+    through ``_due``.  The index function is monotone in ``t`` (with a
+    float guard so a bucket's lower bound never exceeds an entry's
+    time), which makes bucket order a refinement of ``(time, seq)``
+    order: equal times always map to the same bucket, and the wheel
+    base is never renormalized while entries are pending so every
+    lower-bound comparison reuses the exact float expression of the
+    insert guard.
+
+``_due``
+    The flushed-but-undelivered wheel entries, kept descending so the
+    minimum pops from the end in O(1).
+
+``_far``
+    A conventional heap for everything else: timers beyond the wheel
+    horizon, timers targeting already-flushed buckets (sub-quantum
+    delays landing just behind the cursor), and any entry at all when in
+    doubt — the pop loop compares the heads of all four containers
+    lexicographically, so the heap is always a correct fallback.
+
+The wheel re-anchors lazily: when it is empty and an insert misses the
+current window, the base moves to ``now`` and bucket 0 starts there, so
+long quiet periods cost nothing.
+
+Fired :class:`Timeout` and plain :class:`Event` objects are additionally
+pooled: after callbacks run, an event whose refcount proves no user
+reference survives is recycled by the next :meth:`Environment.timeout` /
+:meth:`Environment.event` call (its callbacks list is cleared and reused
+too), skipping the allocation and ``__init__`` of the two hottest
+constructors in the simulator.  Pooling never changes delivery order,
+only object identity, and the monitor digest hashes values and times,
+never identities.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+import sys
+from collections import deque
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
     "Environment",
@@ -39,6 +99,48 @@ __all__ = [
     "SimulationError",
     "StopSimulation",
 ]
+
+#: timer-wheel geometry: 4096 buckets x 1 ms covers a rolling 4.096 s
+#: horizon (the wheel is circular: slots behind the cursor hold the next
+#: rotation), sized so millisecond-to-second service latencies (compute,
+#: network, polling sleeps) land in the wheel while barrier timeouts,
+#: keep-alive windows and hour-scale anchors fall through to the far
+#: heap.  The 1 ms quantum keeps bucket occupancy low even with tens of
+#: thousands of concurrent timers, so the sort-on-flush stays cheap.
+_WHEEL_SIZE = 4096
+_WHEEL_MASK = _WHEEL_SIZE - 1
+_WHEEL_QUANTUM = 0.001
+_WHEEL_INV_QUANTUM = 1.0 / _WHEEL_QUANTUM
+_WHEEL_SPAN = _WHEEL_SIZE * _WHEEL_QUANTUM
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: recycled-event pool cap per environment (bounds kernel-held garbage)
+_TIMEOUT_POOL_CAP = 256
+
+#: timeout-delay histogram bin edges (seconds) for the kernel profiler
+_DELAY_BIN_EDGES = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def _measure_reclaim_refs() -> int:
+    """Reference count of an object held exactly like a just-fired event.
+
+    Mirrors the run loop at the pooling check: one containing tuple, one
+    local binding, one ``getrefcount`` argument.  Measuring instead of
+    hard-coding keeps the check correct across CPython versions; if the
+    measurement were ever too high the pool would silently stay cold
+    (safe), never reclaim a live object.
+    """
+    entry = (0.0, 0, object())
+    event = entry[2]
+    return sys.getrefcount(event) if hasattr(sys, "getrefcount") else -1
+
+
+_RECLAIM_REFS = _measure_reclaim_refs()
+#: on runtimes without getrefcount (PyPy) this never equals _RECLAIM_REFS,
+#: so pooling is disabled rather than wrong
+_getrefcount = getattr(sys, "getrefcount", lambda _obj: -2)
 
 
 class SimulationError(Exception):
@@ -121,12 +223,19 @@ class Event:
 
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
+        """Trigger the event successfully with ``value``.
+
+        Delay-zero scheduling is inlined (now-queue append): wakeups are
+        the single hottest kernel entry point after timeouts.
+        """
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        env._nowq.append((env._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -141,7 +250,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        env._nowq.append((env._now, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -173,7 +285,10 @@ class Timeout(Event):
     Timeouts are born triggered, so ``__init__`` writes the slots
     directly instead of going through :class:`Event` and overwriting —
     this is the hottest constructor in the simulator (every simulated
-    latency is one).
+    latency is one).  Fired instances with no surviving references are
+    recycled through the environment's pool (see
+    :meth:`Environment.timeout`), which bypasses this constructor
+    entirely.
     """
 
     __slots__ = ("delay",)
@@ -200,7 +315,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         self.env = env
-        self.callbacks = [process._resume]
+        self.callbacks = [process._resume_cb]
         self._value = None
         self._ok = True
         self.defused = False
@@ -219,7 +334,7 @@ class Process(Event):
     return value (or fails with its uncaught exception).
     """
 
-    __slots__ = ("_generator", "name", "_target")
+    __slots__ = ("_generator", "name", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -228,6 +343,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: the bound resume callback, created once — every yield appends
+        #: it to an event's callbacks, so don't rebuild the bound method
+        #: each time
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -250,11 +369,11 @@ class Process(Event):
         # immediate resumption that raises Interrupt inside the generator.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         event = Event(self.env)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         event.fail(Interrupt(cause))
         event.defused = True
 
@@ -263,14 +382,14 @@ class Process(Event):
         """Advance the generator with the value (or exception) of ``event``."""
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
-                if event is None or event._ok:
-                    value = None if event is None else event._value
-                    next_event = self._generator.send(value)
+                if event._ok:
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 env._active_process = None
                 self.succeed(exc.value)
@@ -280,20 +399,25 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if not isinstance(next_event, Event):
+            # Duck-typed event check: anything without a ``callbacks``
+            # attribute is not an event.  (A separate try block so user
+            # AttributeErrors inside send/throw above are not masked.)
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 env._active_process = None
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                self._generator.close()
+                generator.close()
                 self.fail(error)
                 return
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event still pending (or triggered but not yet processed):
                 # register and suspend.
                 self._target = next_event
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 env._active_process = None
                 return
 
@@ -306,15 +430,56 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus pending-event structure."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_active_process",
+        "_nowq",
+        "_due",
+        "_far",
+        "_wheel",
+        "_wheel_base",
+        "_wheel_cursor",
+        "_wheel_count",
+        "_wheel_occ",
+        "_wheel_lb",
+        "_timeout_pool",
+        "_event_pool",
+        "_profile",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List = []  # heap of (time, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: delay-zero schedules, already sorted by construction
+        self._nowq: deque = deque()
+        #: flushed wheel entries, descending — the minimum is due[-1]
+        self._due: List = []
+        #: heap of (time, seq, event) outside the wheel window
+        self._far: List = []
+        #: bucket lists, built lazily on the first nonzero-delay schedule
+        self._wheel: Optional[List[List]] = None
+        self._wheel_base = self._now
+        self._wheel_cursor = 0
+        self._wheel_count = 0
+        #: min-heap of occupied (unwrapped) bucket indices.  An index is
+        #: pushed exactly on a bucket's empty->nonempty transition and
+        #: popped when that bucket drains, so the heap mirrors bucket
+        #: occupancy with no stale entries and the flush can jump the
+        #: cursor over arbitrarily many empty buckets in O(log occupied).
+        self._wheel_occ: List[int] = []
+        #: cached lower bound of the nearest occupied bucket
+        #: (== _wheel_base + _wheel_occ[0] * _WHEEL_QUANTUM, maintained
+        #: at every occ-min change) so the run loop can decide "can the
+        #: wheel hold anything <= best?" with one slot load instead of a
+        #: _flush_wheel call.  Only meaningful while _wheel_count > 0.
+        self._wheel_lb = self._now
+        self._timeout_pool: List[Timeout] = []
+        self._event_pool: List[Event] = []
+        self._profile: Optional[Dict[str, Any]] = None
 
     @property
     def now(self) -> float:
@@ -328,12 +493,68 @@ class Environment:
 
     # -- factories ------------------------------------------------------
     def event(self) -> Event:
-        """Create a fresh untriggered event."""
+        """Create a fresh untriggered event.
+
+        Recycles a pooled fired event when one is available: its
+        callbacks list was cleared at reclaim time, so only the trigger
+        state needs resetting.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = _PENDING
+            event._ok = None
+            event.defused = False
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` simulated seconds from now.
+
+        Recycles a pooled fired timeout when one is available (see the
+        module docstring): the slot writes below mirror
+        :meth:`Timeout.__init__` exactly, minus the allocation.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        # Pooled instances need no callbacks/_ok writes: reclaim cleared
+        # the callbacks list in place and only successful events pool.
+        event = pool.pop()
+        event._value = value
+        event.defused = False
+        event.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._nowq.append((self._now, seq, event))
+            return event
+        t = self._now + delay
+        # No profile hook here: enable_profile() drains the pools and
+        # profiled runs never refill them, so this path stays cold
+        # while the delay histogram is recording.
+        # Inlined common-case wheel insert (in-window, wheel built); any
+        # miss falls through to the generic path.
+        base = self._wheel_base
+        idx = int((t - base) * _WHEEL_INV_QUANTUM)
+        if base + idx * _WHEEL_QUANTUM > t:
+            idx -= 1
+        cursor = self._wheel_cursor
+        wheel = self._wheel
+        if wheel is not None and cursor <= idx < cursor + _WHEEL_SIZE:
+            bucket = wheel[idx & _WHEEL_MASK]
+            if not bucket:
+                occ = self._wheel_occ
+                _heappush(occ, idx)
+                if idx == occ[0]:
+                    self._wheel_lb = base + idx * _WHEEL_QUANTUM
+            bucket.append((t, seq, event))
+            self._wheel_count += 1
+        else:
+            self._wheel_insert((t, seq, event), t)
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Spawn a new process from ``generator``."""
@@ -351,18 +572,174 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._nowq.append((self._now, seq, event))
+            return
+        t = self._now + delay
+        self._wheel_insert((t, seq, event), t)
+        if self._profile is not None:
+            self._record_delay(delay)
+
+    def _wheel_insert(self, entry: tuple, t: float) -> None:
+        """File a future entry into the wheel, or the far heap when outside.
+
+        The far heap is a *correct* home for any entry (pops compare all
+        container heads), so every out-of-window case simply falls
+        through to it.
+        """
+        base = self._wheel_base
+        cursor = self._wheel_cursor
+        idx = int((t - base) * _WHEEL_INV_QUANTUM)
+        # Float guard: a bucket's lower bound must never exceed its
+        # entries' time, or the flush order could deliver a later entry
+        # first.  The guarded index function stays monotone in t, so
+        # equal times always share a bucket.
+        if base + idx * _WHEEL_QUANTUM > t:
+            idx -= 1
+        # The wheel is circular: indices are un-wrapped (monotone since
+        # the last re-anchor; the physical slot is idx & mask) and the
+        # live window is [cursor, cursor + size).  The base is *only*
+        # moved while the wheel is empty, so every lower-bound
+        # comparison below and in _flush_wheel reuses the exact float
+        # expression of this guard — ordering never hinges on a
+        # renormalized base being bit-equal.
+        if idx < cursor or idx >= cursor + _WHEEL_SIZE:
+            if self._wheel_count == 0:
+                # Wheel idle: re-anchor the window at the current time.
+                self._wheel_base = base = self._now
+                self._wheel_cursor = cursor = 0
+                self._wheel_lb = base
+                idx = int((t - base) * _WHEEL_INV_QUANTUM)
+                if base + idx * _WHEEL_QUANTUM > t:
+                    idx -= 1
+            if idx < cursor or idx >= cursor + _WHEEL_SIZE:
+                _heappush(self._far, entry)
+                return
+        wheel = self._wheel
+        if wheel is None:
+            wheel = self._wheel = [[] for _ in range(_WHEEL_SIZE)]
+        bucket = wheel[idx & _WHEEL_MASK]
+        if not bucket:
+            occ = self._wheel_occ
+            _heappush(occ, idx)
+            if idx == occ[0]:
+                self._wheel_lb = base + idx * _WHEEL_QUANTUM
+        bucket.append(entry)
+        self._wheel_count += 1
+
+    def _flush_wheel(self, best: Optional[tuple]) -> Optional[tuple]:
+        """Drain wheel buckets that may contain entries <= ``best``.
+
+        Jumps the cursor to each occupied bucket in index order (via the
+        ``_wheel_occ`` min-heap — empty buckets are never visited),
+        stopping once the next occupied bucket's lower bound exceeds the
+        best candidate's time.  Non-empty buckets are sorted into
+        ``_due`` (descending); returns the updated best candidate (the
+        new ``_due`` head when it wins).  Merging into a non-empty
+        ``_due`` is the rare float-edge case; steady state appends to an
+        empty list.  Bucket lower bounds reuse the insert guard's exact
+        float expression (same base, same index), so an entry's time is
+        never below its bucket's computed bound.
+        """
+        due = self._due
+        wheel = self._wheel
+        occ = self._wheel_occ
+        base = self._wheel_base
+        while occ:
+            idx = occ[0]
+            lb = base + idx * _WHEEL_QUANTUM
+            if best is not None and best[0] < lb:
+                break
+            _heappop(occ)
+            self._wheel_cursor = idx + 1
+            bucket = wheel[idx & _WHEEL_MASK]
+            self._wheel_count -= len(bucket)
+            if due:
+                due.extend(bucket)
+                due.sort(reverse=True)
+            else:
+                bucket.sort(reverse=True)
+                due.extend(bucket)
+            bucket.clear()
+            head = due[-1]
+            if best is None or head < best:
+                best = head
+        if occ:
+            self._wheel_lb = base + occ[0] * _WHEEL_QUANTUM
+        return best
+
+    def _pop_next(self, stop_at: float = float("inf")) -> Optional[tuple]:
+        """Remove and return the globally next ``(time, seq, event)``.
+
+        Returns ``None`` when no event remains or the next event lies
+        beyond ``stop_at`` (in which case nothing is removed).  This is
+        the reference pop — :meth:`_run_fast` inlines the same logic.
+        """
+        nowq = self._nowq
+        due = self._due
+        far = self._far
+        best = None
+        src = 0
+        if nowq:
+            best = nowq[0]
+            src = 1
+        if due:
+            head = due[-1]
+            if best is None or head < best:
+                best = head
+                src = 2
+        if far:
+            head = far[0]
+            if best is None or head < best:
+                best = head
+                src = 3
+        if self._wheel_count:
+            flushed = self._flush_wheel(best)
+            if flushed is not best:
+                best = flushed
+                src = 2
+        if best is None or best[0] > stop_at:
+            return None
+        if src == 1:
+            nowq.popleft()
+        elif src == 2:
+            due.pop()
+        else:
+            heapq.heappop(far)
+        return best
+
+    def _pending_count(self) -> int:
+        return (
+            len(self._nowq) + len(self._due) + len(self._far) + self._wheel_count
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        best_t = float("inf")
+        if self._nowq:
+            best_t = self._nowq[0][0]
+        if self._due and self._due[-1][0] < best_t:
+            best_t = self._due[-1][0]
+        if self._far and self._far[0][0] < best_t:
+            best_t = self._far[0][0]
+        if self._wheel_count:
+            # Bucket order refines time order, so the lowest occupied
+            # bucket index holds the wheel's minimum.
+            bucket = self._wheel[self._wheel_occ[0] & _WHEEL_MASK]
+            t = min(bucket)[0]
+            if t < best_t:
+                best_t = t
+        return best_t
 
     def step(self) -> None:
         """Process the single next event in the queue."""
-        if not self._queue:
+        entry = self._pop_next()
+        if entry is None:
             raise SimulationError("no scheduled events")
-        self._now, _, event = heapq.heappop(self._queue)
+        self._now = entry[0]
+        event = entry[2]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -397,8 +774,10 @@ class Environment:
                 )
 
         try:
-            while self._queue and self.peek() <= stop_at:
-                self.step()
+            if self._profile is None:
+                self._run_fast(stop_at)
+            else:
+                self._run_profiled(stop_at)
         except StopSimulation as stop:
             return stop.value
 
@@ -411,10 +790,188 @@ class Environment:
             self._now = stop_at
         return None
 
+    def _run_fast(self, stop_at: float) -> None:
+        """The hot loop: :meth:`_pop_next` + :meth:`step` fused and inlined.
+
+        Containers are cached as locals and only ever mutated in place
+        (never rebound), so the cache stays valid across callbacks that
+        schedule new events.  Scalar cursor state lives on ``self``
+        because callbacks move it.
+        """
+        nowq = self._nowq
+        due = self._due
+        far = self._far
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        heappop = heapq.heappop
+        getrefcount = _getrefcount
+        reclaim_refs = _RECLAIM_REFS
+        while True:
+            # Candidate selection: pick the lexicographic minimum of the
+            # nowq / due / far heads, then give the wheel a chance iff
+            # its cursor lower bound does not exceed that candidate (the
+            # cached ``_wheel_lb`` makes that one compare, not a call).
+            # The lb comparison is required even when ``due`` is
+            # populated: the bucket index guard only enforces the lower
+            # bound, so float edges can file an entry one bucket early
+            # and flushing with the candidate restores exact (t, seq)
+            # order.
+            if due:
+                best = due[-1]
+                src = 2
+                if nowq and nowq[0] < best:
+                    best = nowq[0]
+                    src = 1
+                if far and far[0] < best:
+                    best = far[0]
+                    src = 3
+                if self._wheel_count and self._wheel_lb <= best[0]:
+                    flushed = self._flush_wheel(best)
+                    if flushed is not best:
+                        best = flushed
+                        src = 2
+            elif nowq:
+                best = nowq[0]
+                src = 1
+                if far and far[0] < best:
+                    best = far[0]
+                    src = 3
+                if self._wheel_count and self._wheel_lb <= best[0]:
+                    flushed = self._flush_wheel(best)
+                    if flushed is not best:
+                        best = flushed
+                        src = 2
+            else:
+                best = far[0] if far else None
+                src = 3
+                if self._wheel_count:
+                    flushed = self._flush_wheel(best)
+                    if flushed is not best:
+                        best = flushed
+                        src = 2
+                if best is None:
+                    return
+            t = best[0]
+            if t > stop_at:
+                return
+            if src == 2:
+                due.pop()
+            elif src == 1:
+                nowq.popleft()
+            else:
+                heappop(far)
+            self._now = t
+            event = best[2]
+            callbacks = event.callbacks
+            event.callbacks = None
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok:
+                if not event.defused:
+                    # A failure nobody waited on: surface it, don't drop it.
+                    raise event._value
+            elif getrefcount(event) == reclaim_refs:
+                # Provably unreferenced outside this loop (the count
+                # mirrors _measure_reclaim_refs): recycle exact Timeout /
+                # Event instances, reusing the cleared callbacks list so
+                # the pooled constructor skips that allocation too.
+                cls = event.__class__
+                if cls is Timeout:
+                    if len(tpool) < _TIMEOUT_POOL_CAP:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        tpool.append(event)
+                elif cls is Event:
+                    if len(epool) < _TIMEOUT_POOL_CAP:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        epool.append(event)
+
+    def _run_profiled(self, stop_at: float) -> None:
+        """Instrumented run loop: per-event-type count/time accounting.
+
+        Uses the injected timer (the sim layer never reads wall clocks
+        itself) and skips timeout pooling so the recorded costs reflect
+        the allocation behavior the breakdown is meant to expose.
+        """
+        prof = self._profile
+        timer = prof["timer"]
+        events = prof["events"]
+        while True:
+            entry = self._pop_next(stop_at)
+            if entry is None:
+                return
+            self._now = entry[0]
+            event = entry[2]
+            callbacks, event.callbacks = event.callbacks, None
+            start = timer()
+            for callback in callbacks:
+                callback(event)
+            elapsed = timer() - start
+            key = type(event).__name__
+            stats = events.get(key)
+            if stats is None:
+                events[key] = [1, elapsed]
+            else:
+                stats[0] += 1
+                stats[1] += elapsed
+            if not event._ok and not event.defused:
+                raise event._value
+
+    # -- profiling ------------------------------------------------------
+    def enable_profile(self, timer: Callable[[], int]) -> None:
+        """Turn on kernel profiling for subsequent :meth:`run` calls.
+
+        ``timer`` is a nanosecond counter (e.g. ``time.perf_counter_ns``)
+        injected by the host-side caller — the simulated layer does not
+        read wall clocks itself.  Collects a per-event-type count/time
+        breakdown and a timeout-delay histogram (the input that sized
+        the timer wheel); read the result with :meth:`profile_report`.
+        """
+        self._profile = {
+            "timer": timer,
+            "events": {},
+            "delays": [0] * (len(_DELAY_BIN_EDGES) + 1),
+        }
+        # Profiled runs dispatch through _run_profiled/_pop_next, which
+        # never reclaim events, so draining the pools here guarantees
+        # the pooled fast path in timeout() (which skips the profile
+        # delay-histogram hook) stays cold while profiling.
+        del self._timeout_pool[:]
+        del self._event_pool[:]
+
+    def _record_delay(self, delay: float) -> None:
+        bins = self._profile["delays"]
+        for i, edge in enumerate(_DELAY_BIN_EDGES):
+            if delay < edge:
+                bins[i] += 1
+                return
+        bins[-1] += 1
+
+    def profile_report(self) -> Dict[str, Any]:
+        """Snapshot of collected profile data as plain dicts."""
+        prof = self._profile
+        if prof is None:
+            raise SimulationError("profiling is not enabled (call enable_profile)")
+        event_types = {
+            name: {"count": count, "total_ns": total_ns}
+            for name, (count, total_ns) in sorted(prof["events"].items())
+        }
+        delay_bins = []
+        lower = 0.0
+        for edge, count in zip(_DELAY_BIN_EDGES, prof["delays"]):
+            delay_bins.append({"ge_s": lower, "lt_s": edge, "count": count})
+            lower = edge
+        delay_bins.append({"ge_s": lower, "lt_s": None, "count": prof["delays"][-1]})
+        return {"event_types": event_types, "timeout_delays": delay_bins}
+
     def _stop_callback(self, event: Event) -> None:
         if event._ok:
             raise StopSimulation(event._value)
         raise event._value
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        return f"<Environment now={self._now} pending={self._pending_count()}>"

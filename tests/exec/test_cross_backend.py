@@ -103,3 +103,55 @@ def test_local_backend_rejects_sim_only_arguments():
         run_mlless(pmf_config(), world=build_world(seed=0), backend="local")
     with pytest.raises(ValueError, match="unknown backend"):
         run_mlless(pmf_config(), backend="cloud")
+
+
+# -- procs backend ----------------------------------------------------------
+
+
+def test_pmf_sim_and_procs_reach_same_final_loss():
+    sim = run_mlless(pmf_config())
+    procs = run_mlless(pmf_config(), backend="procs")
+    assert sim.total_steps == procs.total_steps == 20
+    assert procs.final_loss == pytest.approx(sim.final_loss, abs=LOSS_TOL)
+    # Per-step losses must agree too — gradients crossed process
+    # boundaries through the shared-memory arena on every step.
+    _, sim_losses = sim.monitor.series("loss_by_step").as_arrays()
+    _, procs_losses = procs.monitor.series("loss_by_step").as_arrays()
+    np.testing.assert_allclose(procs_losses, sim_losses, atol=LOSS_TOL)
+
+
+def test_lr_sim_and_procs_reach_same_final_loss():
+    sim = run_mlless(lr_config())
+    procs = run_mlless(lr_config(), backend="procs")
+    assert sim.total_steps == procs.total_steps == 15
+    assert procs.final_loss == pytest.approx(sim.final_loss, abs=LOSS_TOL)
+
+
+def test_procs_run_reports_genuine_wall_clock():
+    result = run_mlless(pmf_config(max_steps=10), backend="procs")
+    assert result.system == "mlless-procs"
+    assert result.total_steps == 10
+    assert 0.0 < result.exec_time < 60.0
+    assert result.total_cost == 0.0  # no billed platform
+    # Every worker process must have exited within the drain grace.
+    assert result.extras["workers_drained"] == 3.0
+
+
+def test_procs_ssp_trains_end_to_end():
+    # SSP skips the shared-memory arena (staleness breaks the
+    # parity-slot argument) and ships updates pickled; assert progress,
+    # not bit-equality, as with local SSP.
+    config = pmf_config(
+        sync="ssp", ssp_staleness=2, n_workers=3, max_steps=15
+    )
+    result = run_mlless(config, backend="procs")
+    assert result.total_steps == 15
+    assert np.isfinite(result.final_loss)
+    assert result.final_loss < 1.0
+
+
+def test_procs_backend_rejects_sim_only_arguments():
+    from repro.experiments.common import build_world
+
+    with pytest.raises(ValueError, match="simulation world"):
+        run_mlless(pmf_config(), world=build_world(seed=0), backend="procs")

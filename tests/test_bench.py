@@ -75,6 +75,7 @@ def test_run_suite_document_schema():
     assert entry["group"] == "kernel"
     assert entry["reps"] > 0
     assert entry["p50_ns"] >= 0 and entry["p95_ns"] >= entry["p50_ns"]
+    assert entry["p99_ns"] >= entry["p95_ns"]  # tail percentile ships too
     assert entry["checksum"] == checksum_bytes(b"14")
     assert entry["portable_checksum"] is True
 
@@ -115,6 +116,17 @@ def test_registered_ops_cover_every_gated_group():
     for gated in GATED_GROUPS:
         assert gated in groups
     assert len({op.name for op in ALL_OPS}) == len(ALL_OPS)
+
+
+def test_simkernel_group_has_the_gated_kernel_ops():
+    # The committed BENCH_kernel_{baseline,optimized}.json pair gates
+    # exactly these ops; renaming one silently un-gates the win.
+    names = {op.name for op in ALL_OPS if op.group == "simkernel"}
+    assert names == {
+        "simkernel.step_loop_450k",
+        "simkernel.fifo_pipeline_240k",
+        "simkernel.mixed_horizon_371k",
+    }
 
 
 # -------------------------------------------------------------- compare
@@ -206,3 +218,71 @@ def test_cli_runs_single_real_op(tmp_path, capsys):
     assert "kernel.row_slice" in out
     doc = json.loads((tmp_path / "BENCH_t.json").read_text())
     assert [e["op"] for e in doc["ops"]] == ["kernel.row_slice"]
+
+
+# ---------------------------------------------------- host subcommands
+def test_format_profile_renders_counts_and_histogram():
+    from repro.bench.hostbench import format_profile
+
+    report = {
+        "event_types": {
+            "Timeout": {"count": 450_000, "total_ns": 500_000_000},
+            "Process": {"count": 5_000, "total_ns": 1_000_000},
+        },
+        "timeout_delays": [
+            {"ge_s": 0.0, "lt_s": 0.001, "count": 0},
+            {"ge_s": 100.0, "lt_s": None, "count": 7},
+        ],
+    }
+    text = format_profile(report)
+    assert "Timeout" in text and "450000" in text
+    assert "per-event-type breakdown" in text
+    assert "timeout-delay histogram" in text
+    assert "infs)" in text and "7" in text  # open-ended top bucket
+
+
+def test_profile_report_shape_from_instrumented_kernel():
+    # A tiny env under enable_profile must produce the schema hostbench
+    # formats: per-type count/total_ns and the delay histogram.
+    import time as _time
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def machine(env):
+        yield env.timeout(0.5)
+        yield env.timeout(0.0)
+
+    env.process(machine(env))
+    env.enable_profile(_time.perf_counter_ns)
+    env.run()
+    report = env.profile_report()
+    assert set(report) == {"event_types", "timeout_delays"}
+    assert report["event_types"]["Timeout"]["count"] >= 2
+    for entry in report["event_types"].values():
+        assert entry["count"] > 0 and entry["total_ns"] >= 0
+    assert sum(b["count"] for b in report["timeout_delays"]) >= 1
+
+
+def test_backend_bench_writes_cpu_aware_doc(tmp_path, capsys):
+    from repro.bench.cli import main as bench_main
+
+    code = bench_main(
+        [
+            "backend", "--workers", "2", "--max-steps", "5",
+            "--name", "t_backend", "--out", str(tmp_path), "--check-ratio",
+        ]
+    )
+    out = capsys.readouterr().out
+    doc = json.loads((tmp_path / "BENCH_t_backend.json").read_text())
+    assert doc["host_cpus"] >= 1
+    assert [r["backend"] for r in doc["backend"]["runs"]] == ["local", "procs"]
+    for run in doc["backend"]["runs"]:
+        assert run["steps"] == 5 and run["steps_per_s"] > 0
+    assert doc["backend"]["required_ratio"] == 1.5
+    assert doc["backend"]["ratio_gated"] == (doc["host_cpus"] >= 4)
+    if doc["host_cpus"] < 4:
+        # single-core runner: numbers recorded, gate explicitly skipped
+        assert code == 0
+        assert "SKIPPED" in out
