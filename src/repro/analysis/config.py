@@ -361,11 +361,16 @@ def _parse_value(src: str):
     if string:
         return string.group(1) if string.group(1) is not None else string.group(2)
     if src.startswith("[") and src.endswith("]"):
-        inner = src[1:-1]
-        items = [
-            m.group(0).strip().strip("\"'")
-            for m in re.finditer(r'"[^"]*"|\'[^\']*\'', inner)
-        ]
+        # Arrays of scalars (strings, booleans, numbers — possibly
+        # mixed): split on top-level commas, parse each item with the
+        # scalar rules above, and skip anything unparseable.  Scenario
+        # specs (repro.scenarios) rely on numeric items for ranges like
+        # ``crash_window_s = [0.5, 15.0]``.
+        items = []
+        for part in _split_array_items(src[1:-1]):
+            value = _parse_value(part)
+            if value is not None:
+                items.append(value)
         return items
     try:
         return int(src)
@@ -375,3 +380,25 @@ def _parse_value(src: str):
         return float(src)
     except ValueError:
         return None
+
+
+def _split_array_items(inner: str) -> List[str]:
+    """Split an array body on commas outside quotes."""
+    items: List[str] = []
+    current: List[str] = []
+    quote = ""
+    for ch in inner:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = ""
+        elif ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    return [item for item in (i.strip() for i in items) if item]

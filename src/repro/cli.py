@@ -68,10 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true",
                         help="list workloads and exit")
+    parser.epilog = (
+        "Declarative scenarios: `repro scenario list|validate|run ...` "
+        "forwards to python -m repro.scenarios."
+    )
     return parser
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        # Declarative scenario engine: `repro scenario run <name>` etc.
+        # (same forwarding pattern as `repro.bench platform`).
+        from .scenarios.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list:

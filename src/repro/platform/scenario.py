@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..faas.billing import FaaSBilling
 from ..sim import Environment, Monitor, RandomStreams
 from ..storage import KVStore
 from .arrivals import JobSizeProfile, TrafficProfile, generate_arrivals
@@ -102,6 +103,10 @@ def run_scenario(config: ScenarioConfig = ScenarioConfig()) -> ScenarioResult:
         memory_grades_mb=config.memory_grades_mb,
         keep_alive_s=config.keep_alive_s,
         scale_to_zero_after_s=config.scale_to_zero_after_s,
+        # The platform pays the cloud at the scenario's configured rate;
+        # invoices re-bill at the same rate, so reconcile() stays exact
+        # whatever pricing table the scenario declares.
+        billing=FaaSBilling(rate_per_gb_s=config.economics.rate_per_gb_s),
         monitor=monitor,
         label="pool",
     )
@@ -210,6 +215,7 @@ def run_isolated_baseline(config: ScenarioConfig = ScenarioConfig()) -> Dict[str
             memory_grades_mb=config.memory_grades_mb,
             keep_alive_s=config.keep_alive_s,
             scale_to_zero_after_s=0.0,
+            billing=FaaSBilling(rate_per_gb_s=config.economics.rate_per_gb_s),
             label="isolated",
         )
         record = JobRecord(spec=spec, ordinal=ordinal)

@@ -1,0 +1,8 @@
+"""``python -m repro.scenarios`` — the scenario engine CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

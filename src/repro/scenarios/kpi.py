@@ -1,0 +1,222 @@
+"""KPI reports: one JSON document per scenario run, digest-gated.
+
+Every scenario run — single-job or platform — produces one JSON-ready
+payload with the headline numbers the paper cares about (cost, execution
+time, time-to-loss, recovery counts, queue-wait percentiles, critical
+path) plus a **reconciliation block that is checked, not just printed**:
+
+* platform runs call :meth:`TenantInvoices <repro.platform.billing.InvoiceReport>`
+  ``.reconcile()`` and fail with :class:`ReconciliationError` unless the
+  per-tenant invoices plus the visible unattributed residue reproduce
+  ``FaaSBilling.total_cost()`` exactly (and, in strict mode, unless the
+  residue is zero — 100% of billed cost lands on an invoice);
+* single-job runs recompute the meter's component breakdown and compare
+  the functions line against ``FaaSBilling.total_cost()`` and the sum of
+  components against the meter total; traced runs additionally check the
+  span-derived :class:`~repro.trace.CostLedger` against the same bill.
+
+The payload's ``digest`` is a sha256 over its canonical JSON encoding
+(sorted keys, no whitespace, ``digest`` itself excluded), so two runs of
+a deterministic scenario at the same seed must produce byte-identical
+digests — the property CI gates for every committed template.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ReconciliationError",
+    "COST_ABS_TOL",
+    "reconcile_single_job",
+    "reconcile_platform",
+    "kpi_digest",
+    "finalize_report",
+    "evaluate_budget",
+    "summary_lines",
+]
+
+#: dollars; bills in this repo are exact sums of per-record products, so
+#: any drift beyond float addition noise is an accounting bug
+COST_ABS_TOL = 1e-9
+
+
+class ReconciliationError(RuntimeError):
+    """The KPI report's cost lines do not reproduce the actual bill."""
+
+
+def _close(a: float, b: float, tol: float = COST_ABS_TOL) -> bool:
+    return abs(a - b) <= tol + tol * max(abs(a), abs(b))
+
+
+def reconcile_single_job(result, tracer=None) -> Dict[str, float]:
+    """Cross-check a :class:`~repro.core.RunResult`'s cost accounting.
+
+    Raises :class:`ReconciliationError` when the component breakdown does
+    not sum to the meter total, when the functions component disagrees
+    with ``FaaSBilling.total_cost()``, or (traced runs) when the span
+    ledger fails to attribute the bill.  Returns the reconciliation
+    block for the report.
+    """
+    meter = result.meter
+    total = meter.total_cost()
+    breakdown = meter.breakdown()
+    component_sum = 0.0
+    for name in sorted(breakdown):
+        component_sum += breakdown[name]
+    if not _close(component_sum, total):
+        raise ReconciliationError(
+            f"cost breakdown sums to ${component_sum:.9f} but the meter "
+            f"total is ${total:.9f} (drift ${abs(component_sum - total):.3g}) "
+            "— a component is billed twice or not at all"
+        )
+    out: Dict[str, float] = {
+        "meter_total_usd": total,
+        "component_sum_usd": component_sum,
+        "abs_error_usd": abs(component_sum - total),
+    }
+    if meter.faas is not None:
+        faas_total = meter.faas.total_cost()
+        functions = breakdown.get("functions", 0.0)
+        if not _close(functions, faas_total):
+            raise ReconciliationError(
+                f"report shows ${functions:.9f} of function cost but "
+                f"FaaSBilling.total_cost() is ${faas_total:.9f} — the KPI "
+                "report would under/over-state the serverless bill"
+            )
+        out["faas_total_usd"] = faas_total
+    if tracer is not None and meter.faas is not None:
+        from ..trace import CostLedger
+
+        ledger = CostLedger.from_trace(tracer, meter.faas)
+        check = ledger.reconcile()
+        if not _close(check["ledger_row_cost"], check["billing_total_cost"]):
+            raise ReconciliationError(
+                "span-ledger rows sum to "
+                f"${check['ledger_row_cost']:.9f} but the bill is "
+                f"${check['billing_total_cost']:.9f}"
+            )
+        out["ledger_attributed_fraction"] = check["attributed_fraction"]
+    return out
+
+
+def reconcile_platform(report, strict: bool = True) -> Dict[str, float]:
+    """Run ``InvoiceReport.reconcile()`` and *enforce* its identities.
+
+    ``strict`` additionally requires a zero unattributed residue — every
+    billed activation claimed by exactly one tenant invoice (the
+    acceptance bar for committed templates).
+    """
+    check = report.reconcile()
+    if not _close(
+        check["invoiced_active_cost"] + check["unattributed_cost"],
+        check["billing_total_cost"],
+    ):
+        raise ReconciliationError(
+            f"tenant invoices (${check['invoiced_active_cost']:.9f}) plus "
+            f"unattributed residue (${check['unattributed_cost']:.9f}) do not "
+            f"reproduce the cloud bill (${check['billing_total_cost']:.9f})"
+        )
+    if strict and check["unattributed_cost"] > COST_ABS_TOL:
+        raise ReconciliationError(
+            f"${check['unattributed_cost']:.9f} of billed cost is "
+            "unattributed — the owner map failed to claim every activation "
+            f"(attributed fraction {check['attributed_fraction']:.6f})"
+        )
+    return check
+
+
+# -- digests & payload ------------------------------------------------------
+
+
+def kpi_digest(payload: Dict[str, Any]) -> str:
+    """sha256 of the canonical JSON encoding, ``digest`` key excluded."""
+    body = {key: payload[key] for key in payload if key != "digest"}
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                         allow_nan=False)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def finalize_report(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp the payload with its digest (idempotent)."""
+    payload["digest"] = kpi_digest(payload)
+    return payload
+
+
+# -- budgets ----------------------------------------------------------------
+
+
+def evaluate_budget(budget, kpis: Dict[str, Any]) -> Dict[str, Any]:
+    """Check headline KPIs against the spec's ``[budget]`` ceilings.
+
+    Returns ``{"ok": bool, "violations": [...]}``; the CLI turns a
+    non-empty violation list into exit code 3.
+    """
+    violations: List[str] = []
+
+    def over(limit: Optional[float], key: str, label: str) -> None:
+        value = kpis.get(key)
+        if limit is not None and value is not None and value > limit:
+            violations.append(f"{label} {value:.6g} exceeds budget {limit:.6g}")
+
+    over(budget.max_cost_usd, "total_cost_usd", "total cost ($)")
+    over(budget.max_exec_time_s, "exec_time_s", "execution time (s)")
+    over(budget.max_exec_time_s, "makespan_s", "makespan (s)")
+    over(budget.max_queue_wait_p95_s, "queue_wait_p95_s", "p95 queue wait (s)")
+    if budget.require_converged and not kpis.get("converged", False):
+        violations.append("run did not converge but the budget requires it")
+    return {"ok": not violations, "violations": violations}
+
+
+# -- human-readable summary -------------------------------------------------
+
+
+def summary_lines(payload: Dict[str, Any]) -> List[str]:
+    """Terse per-run summary for the CLI (pure string building)."""
+    kpis = payload.get("kpis", {})
+    lines = [
+        f"scenario {payload.get('name')} [{payload.get('kind')}] "
+        f"seed={payload.get('seed')}"
+    ]
+    if payload.get("kind") == "platform":
+        lines.append(
+            f"  jobs={kpis.get('jobs', 0):.0f} "
+            f"jobs/hour={kpis.get('jobs_per_hour', 0):.1f} "
+            f"p95 wait={kpis.get('queue_wait_p95_s', 0):.2f}s"
+        )
+        lines.append(
+            f"  total cost=${kpis.get('total_cost_usd', 0):.6f} "
+            f"cost/job=${kpis.get('cost_per_job_usd', 0):.6f} "
+            f"cold fraction={kpis.get('cold_fraction', 0):.3f}"
+        )
+        if "isolated_savings_pct" in kpis:
+            lines.append(
+                f"  vs per-job isolation: {kpis['isolated_savings_pct']:.1f}% cheaper"
+            )
+    else:
+        lines.append(
+            f"  runs={len(payload.get('runs', []))} "
+            f"exec time={kpis.get('exec_time_s', 0):.2f}s "
+            f"cost=${kpis.get('total_cost_usd', 0):.6f} "
+            f"converged={kpis.get('converged')}"
+        )
+        if kpis.get("faults_injected"):
+            lines.append(
+                f"  faults injected={kpis['faults_injected']:.0f} "
+                f"recovered={kpis.get('faults_recovered', 0):.0f}"
+            )
+        rec = payload.get("recommendation")
+        if rec:
+            lines.append(
+                f"  recommended config: workers={rec['workers']} "
+                f"isp_threshold={rec['isp_threshold']} "
+                f"(${rec['total_cost_usd']:.6f}, {rec['exec_time_s']:.2f}s)"
+            )
+    budget = payload.get("budget", {})
+    for violation in budget.get("violations", []):
+        lines.append(f"  BUDGET VIOLATION: {violation}")
+    lines.append(f"  digest={payload.get('digest', '')[:16]} "
+                 f"deterministic={payload.get('deterministic')}")
+    return lines

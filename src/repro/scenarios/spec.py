@@ -1,0 +1,858 @@
+"""Validated scenario specifications: the declarative front door.
+
+A :class:`ScenarioSpec` captures everything that defines one experiment
+— workload, execution backend, fault profile, traffic pattern, pricing
+table and run budget — as frozen dataclasses built from a plain nested
+dict (itself parsed from TOML or JSON by :mod:`repro.scenarios.loader`).
+Validation is strict and path-precise: unknown keys, wrong types and
+out-of-range values all raise :class:`SpecError` whose message names the
+exact dotted key (``faults.crash_rate must be >= 0``), so a template
+author is never left grepping a traceback.
+
+Two scenario kinds exist:
+
+* ``single-job`` — one MLLess training job (optionally swept over
+  worker counts and ISP thresholds) on any execution backend, lowered
+  onto :func:`repro.experiments.common.run_mlless`;
+* ``platform`` — a multi-tenant run (arrivals, fair-share scheduler,
+  shared pool, per-tenant invoices) lowered onto
+  :func:`repro.platform.scenario.run_scenario`.
+
+Specs are pure data with a lossless ``to_dict``/``from_dict`` round
+trip; nothing here touches the filesystem or the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.settings import WORKLOADS
+from ..faults import FAULT_PROFILES, FaultProfile
+
+__all__ = [
+    "SpecError",
+    "WorkloadSpec",
+    "SweepSpec",
+    "FaultSpec",
+    "TrafficSpec",
+    "JobMixSpec",
+    "PoolSpec",
+    "PricingSpec",
+    "BudgetSpec",
+    "ReportSpec",
+    "ScenarioSpec",
+    "spec_from_dict",
+    "KINDS",
+    "BACKENDS",
+]
+
+KINDS = ("single-job", "platform")
+BACKENDS = ("sim", "local", "procs")
+
+#: hard cap on sweep grids so a typo cannot schedule a thousand runs
+MAX_SWEEP_COMBOS = 64
+
+
+class SpecError(ValueError):
+    """A scenario spec failed validation.
+
+    ``path`` is the dotted key that failed (``faults.crash_rate``);
+    loaders prefix the message with the file origin so the final text
+    reads ``scenarios/fault_storm.toml: faults.crash_rate must be >= 0``.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+# -- typed section reader ---------------------------------------------------
+
+
+class _Reader:
+    """Pulls typed keys out of one section dict, tracking leftovers."""
+
+    def __init__(self, data: Dict[str, Any], path: str):
+        if not isinstance(data, dict):
+            raise SpecError(path, f"must be a table/object, got {type(data).__name__}")
+        self._data = dict(data)
+        self._path = path
+        self._known: List[str] = []
+
+    def _key_path(self, key: str) -> str:
+        return f"{self._path}.{key}" if self._path else key
+
+    def _take(self, key: str, default):
+        self._known.append(key)
+        if key not in self._data:
+            if default is _REQUIRED:
+                raise SpecError(self._key_path(key), "is required")
+            return default
+        return self._data.pop(key)
+
+    def take_str(self, key: str, default=None, choices: Optional[Tuple[str, ...]] = None):
+        value = self._take(key, default)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise SpecError(
+                self._key_path(key),
+                f"must be a string, got {value!r}",
+            )
+        if choices is not None and value not in choices:
+            raise SpecError(
+                self._key_path(key),
+                f"must be one of {sorted(choices)}, got {value!r}",
+            )
+        return value
+
+    def take_bool(self, key: str, default=False):
+        value = self._take(key, default)
+        if not isinstance(value, bool):
+            raise SpecError(
+                self._key_path(key), f"must be true or false, got {value!r}"
+            )
+        return value
+
+    def take_int(self, key: str, default=None, minimum: Optional[int] = None):
+        value = self._take(key, default)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SpecError(
+                self._key_path(key), f"must be an integer, got {value!r}"
+            )
+        if minimum is not None and value < minimum:
+            raise SpecError(
+                self._key_path(key), f"must be >= {minimum}, got {value}"
+            )
+        return value
+
+    def take_float(
+        self,
+        key: str,
+        default=None,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ):
+        value = self._take(key, default)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(
+                self._key_path(key), f"must be a number, got {value!r}"
+            )
+        value = float(value)
+        if minimum is not None and value < minimum:
+            raise SpecError(
+                self._key_path(key), f"must be >= {minimum}, got {value}"
+            )
+        if maximum is not None and value > maximum:
+            raise SpecError(
+                self._key_path(key), f"must be <= {maximum}, got {value}"
+            )
+        return value
+
+    def take_pair(self, key: str, default=None, minimum: float = 0.0):
+        """A 2-element ``[lo, hi]`` numeric range with ``lo <= hi``."""
+        value = self._take(key, default)
+        if value is None or isinstance(value, tuple):
+            return value
+        if not isinstance(value, list) or len(value) != 2 or any(
+            isinstance(x, bool) or not isinstance(x, (int, float)) for x in value
+        ):
+            raise SpecError(
+                self._key_path(key),
+                f"must be a 2-element [lo, hi] number list, got {value!r}",
+            )
+        lo, hi = float(value[0]), float(value[1])
+        if lo > hi:
+            raise SpecError(
+                self._key_path(key), f"must satisfy lo <= hi, got {value!r}"
+            )
+        if lo < minimum:
+            raise SpecError(
+                self._key_path(key), f"must be >= {minimum}, got {value!r}"
+            )
+        return (lo, hi)
+
+    def take_int_list(self, key: str, default=None, minimum: Optional[int] = None):
+        value = self._take(key, default)
+        if value is None or isinstance(value, tuple):
+            return value
+        if not isinstance(value, list) or not value:
+            raise SpecError(
+                self._key_path(key),
+                f"must be a non-empty list of integers, got {value!r}",
+            )
+        out = []
+        for item in value:
+            if isinstance(item, bool) or not isinstance(item, int):
+                raise SpecError(
+                    self._key_path(key),
+                    f"must contain only integers, got {item!r}",
+                )
+            if minimum is not None and item < minimum:
+                raise SpecError(
+                    self._key_path(key),
+                    f"items must be >= {minimum}, got {item}",
+                )
+            out.append(item)
+        return tuple(out)
+
+    def take_float_list(self, key: str, default=None, minimum: Optional[float] = None):
+        value = self._take(key, default)
+        if value is None or isinstance(value, tuple):
+            return value
+        if not isinstance(value, list) or not value:
+            raise SpecError(
+                self._key_path(key),
+                f"must be a non-empty list of numbers, got {value!r}",
+            )
+        out = []
+        for item in value:
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                raise SpecError(
+                    self._key_path(key),
+                    f"must contain only numbers, got {item!r}",
+                )
+            if minimum is not None and item < minimum:
+                raise SpecError(
+                    self._key_path(key),
+                    f"items must be >= {minimum}, got {item}",
+                )
+            out.append(float(item))
+        return tuple(out)
+
+    def finish(self) -> None:
+        """Reject unknown keys, naming what would have been accepted."""
+        if self._data:
+            unknown = sorted(self._data)[0]
+            raise SpecError(
+                self._key_path(unknown),
+                f"unknown key (expected one of {sorted(self._known)})",
+            )
+
+
+_REQUIRED = object()
+
+
+# -- section dataclasses ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One MLLess training job (the ``[workload]`` section)."""
+
+    name: str
+    workers: int = 4
+    backend: str = "sim"
+    #: ISP significance threshold v (0 = plain BSP)
+    isp_threshold: float = 0.0
+    autotune: bool = False
+    max_steps: int = 100
+    #: None = the workload's published target
+    target_loss: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "workload") -> "WorkloadSpec":
+        reader = _Reader(data, path)
+        name = reader.take_str("name", _REQUIRED, choices=tuple(WORKLOADS))
+        spec = cls(
+            name=name,
+            workers=reader.take_int("workers", 4, minimum=1),
+            backend=reader.take_str("backend", "sim", choices=BACKENDS),
+            isp_threshold=reader.take_float("isp_threshold", 0.0, minimum=0.0),
+            autotune=reader.take_bool("autotune", False),
+            max_steps=reader.take_int("max_steps", 100, minimum=1),
+            target_loss=reader.take_float("target_loss", None, minimum=0.0),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "workers": self.workers,
+            "backend": self.backend,
+            "isp_threshold": self.isp_threshold,
+            "autotune": self.autotune,
+            "max_steps": self.max_steps,
+        }
+        if self.target_loss is not None:
+            out["target_loss"] = self.target_loss
+        return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Config grid for single-job right-sizing sweeps (``[sweep]``)."""
+
+    workers: Tuple[int, ...] = ()
+    isp_threshold: Tuple[float, ...] = ()
+    #: recommendation picks the cheapest combo within this factor of the
+    #: fastest combo's exec time (the ROADMAP's "1.2x of fastest" rule)
+    speed_tolerance: float = 1.2
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "sweep") -> "SweepSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            workers=reader.take_int_list("workers", (), minimum=1) or (),
+            isp_threshold=reader.take_float_list("isp_threshold", (), minimum=0.0)
+            or (),
+            speed_tolerance=reader.take_float("speed_tolerance", 1.2, minimum=1.0),
+        )
+        reader.finish()
+        if not spec.workers and not spec.isp_threshold:
+            raise SpecError(
+                path, "must set at least one of 'workers' / 'isp_threshold'"
+            )
+        return spec
+
+    def combos(self, base_workers: int, base_v: float) -> List[Tuple[int, float]]:
+        """The (workers, isp_threshold) grid, base values filling gaps."""
+        workers = self.workers or (base_workers,)
+        thresholds = self.isp_threshold or (base_v,)
+        return [(w, v) for w in workers for v in thresholds]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"speed_tolerance": self.speed_tolerance}
+        if self.workers:
+            out["workers"] = list(self.workers)
+        if self.isp_threshold:
+            out["isp_threshold"] = list(self.isp_threshold)
+        return out
+
+
+#: inline-rate keys of the ``[faults]`` section, mirroring FaultProfile
+_FAULT_RATE_KEYS = (
+    "crash_rate",
+    "coldstart_spike_rate",
+    "straggler_rate",
+    "message_loss_rate",
+    "message_duplication_rate",
+    "kv_error_rate",
+    "cos_error_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault injection (``[faults]``): a named preset or inline rates."""
+
+    profile: Optional[str] = None
+    crash_rate: float = 0.0
+    crash_window_s: Tuple[float, float] = (0.5, 30.0)
+    coldstart_spike_rate: float = 0.0
+    coldstart_spike_factor: Tuple[float, float] = (2.0, 8.0)
+    straggler_rate: float = 0.0
+    straggler_factor: Tuple[float, float] = (1.5, 4.0)
+    message_loss_rate: float = 0.0
+    message_duplication_rate: float = 0.0
+    kv_error_rate: float = 0.0
+    cos_error_rate: float = 0.0
+    max_storage_retries: int = 4
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "faults") -> "FaultSpec":
+        reader = _Reader(data, path)
+        profile = reader.take_str(
+            "profile", None, choices=tuple(sorted(FAULT_PROFILES))
+        )
+        kwargs = dict(
+            crash_rate=reader.take_float("crash_rate", 0.0, 0.0, 1.0),
+            crash_window_s=reader.take_pair("crash_window_s", (0.5, 30.0), 0.0),
+            coldstart_spike_rate=reader.take_float(
+                "coldstart_spike_rate", 0.0, 0.0, 1.0
+            ),
+            coldstart_spike_factor=reader.take_pair(
+                "coldstart_spike_factor", (2.0, 8.0), 1.0
+            ),
+            straggler_rate=reader.take_float("straggler_rate", 0.0, 0.0, 1.0),
+            straggler_factor=reader.take_pair("straggler_factor", (1.5, 4.0), 1.0),
+            message_loss_rate=reader.take_float("message_loss_rate", 0.0, 0.0, 1.0),
+            message_duplication_rate=reader.take_float(
+                "message_duplication_rate", 0.0, 0.0, 1.0
+            ),
+            kv_error_rate=reader.take_float("kv_error_rate", 0.0, 0.0, 1.0),
+            cos_error_rate=reader.take_float("cos_error_rate", 0.0, 0.0, 1.0),
+            max_storage_retries=reader.take_int("max_storage_retries", 4, minimum=0),
+        )
+        reader.finish()
+        spec = cls(profile=profile, **kwargs)
+        if profile is not None and any(
+            getattr(spec, key) > 0.0 for key in _FAULT_RATE_KEYS
+        ):
+            raise SpecError(
+                path, "sets both a named 'profile' and inline rates; pick one"
+            )
+        if (
+            spec.message_loss_rate + spec.message_duplication_rate > 1.0
+        ):
+            raise SpecError(
+                f"{path}.message_loss_rate",
+                "message loss + duplication rates must sum to <= 1",
+            )
+        return spec
+
+    def to_profile(self, scenario_name: str) -> FaultProfile:
+        """Lower to the injector's :class:`FaultProfile`."""
+        if self.profile is not None:
+            return FAULT_PROFILES[self.profile]
+        return FaultProfile(
+            name=f"scenario:{scenario_name}",
+            crash_rate=self.crash_rate,
+            crash_window_s=self.crash_window_s,
+            coldstart_spike_rate=self.coldstart_spike_rate,
+            coldstart_spike_factor=self.coldstart_spike_factor,
+            straggler_rate=self.straggler_rate,
+            straggler_factor=self.straggler_factor,
+            message_loss_rate=self.message_loss_rate,
+            message_duplication_rate=self.message_duplication_rate,
+            kv_error_rate=self.kv_error_rate,
+            cos_error_rate=self.cos_error_rate,
+            max_storage_retries=self.max_storage_retries,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.profile is not None:
+            return {"profile": self.profile}
+        return {
+            "crash_rate": self.crash_rate,
+            "crash_window_s": list(self.crash_window_s),
+            "coldstart_spike_rate": self.coldstart_spike_rate,
+            "coldstart_spike_factor": list(self.coldstart_spike_factor),
+            "straggler_rate": self.straggler_rate,
+            "straggler_factor": list(self.straggler_factor),
+            "message_loss_rate": self.message_loss_rate,
+            "message_duplication_rate": self.message_duplication_rate,
+            "kv_error_rate": self.kv_error_rate,
+            "cos_error_rate": self.cos_error_rate,
+            "max_storage_retries": self.max_storage_retries,
+        }
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Multi-tenant arrival traffic (``[traffic]``)."""
+
+    tenants: int = 24
+    horizon_s: float = 7200.0
+    mean_rate_per_h: float = 9.0
+    diurnal_amplitude: float = 0.6
+    peak_time_s: float = 2700.0
+    period_s: float = 7200.0
+    bursts_per_h: float = 0.5
+    burst_len_s: float = 300.0
+    burst_multiplier: float = 5.0
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "traffic") -> "TrafficSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            tenants=reader.take_int("tenants", 24, minimum=1),
+            horizon_s=reader.take_float("horizon_s", 7200.0, minimum=1.0),
+            mean_rate_per_h=reader.take_float("mean_rate_per_h", 9.0, minimum=0.0),
+            diurnal_amplitude=reader.take_float(
+                "diurnal_amplitude", 0.6, 0.0, 0.999
+            ),
+            peak_time_s=reader.take_float("peak_time_s", 2700.0, minimum=0.0),
+            period_s=reader.take_float("period_s", 7200.0, minimum=1.0),
+            bursts_per_h=reader.take_float("bursts_per_h", 0.5, minimum=0.0),
+            burst_len_s=reader.take_float("burst_len_s", 300.0, minimum=0.0),
+            burst_multiplier=reader.take_float("burst_multiplier", 5.0, minimum=1.0),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenants": self.tenants,
+            "horizon_s": self.horizon_s,
+            "mean_rate_per_h": self.mean_rate_per_h,
+            "diurnal_amplitude": self.diurnal_amplitude,
+            "peak_time_s": self.peak_time_s,
+            "period_s": self.period_s,
+            "bursts_per_h": self.bursts_per_h,
+            "burst_len_s": self.burst_len_s,
+            "burst_multiplier": self.burst_multiplier,
+        }
+
+
+@dataclass(frozen=True)
+class JobMixSpec:
+    """Per-tenant job size sampling ranges (``[jobs]``)."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    min_steps: int = 20
+    max_steps: int = 60
+    step_cpu_median_s: float = 0.35
+    step_cpu_sigma: float = 0.45
+    sync_every: int = 5
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "jobs") -> "JobMixSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            min_workers=reader.take_int("min_workers", 1, minimum=1),
+            max_workers=reader.take_int("max_workers", 4, minimum=1),
+            min_steps=reader.take_int("min_steps", 20, minimum=1),
+            max_steps=reader.take_int("max_steps", 60, minimum=1),
+            step_cpu_median_s=reader.take_float(
+                "step_cpu_median_s", 0.35, minimum=1e-6
+            ),
+            step_cpu_sigma=reader.take_float("step_cpu_sigma", 0.45, minimum=0.0),
+            sync_every=reader.take_int("sync_every", 5, minimum=0),
+        )
+        reader.finish()
+        if spec.min_workers > spec.max_workers:
+            raise SpecError(
+                f"{path}.min_workers",
+                f"must be <= jobs.max_workers ({spec.max_workers}), "
+                f"got {spec.min_workers}",
+            )
+        if spec.min_steps > spec.max_steps:
+            raise SpecError(
+                f"{path}.min_steps",
+                f"must be <= jobs.max_steps ({spec.max_steps}), got {spec.min_steps}",
+            )
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "min_steps": self.min_steps,
+            "max_steps": self.max_steps,
+            "step_cpu_median_s": self.step_cpu_median_s,
+            "step_cpu_sigma": self.step_cpu_sigma,
+            "sync_every": self.sync_every,
+        }
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Shared-pool shape (``[pool]``)."""
+
+    concurrency: int = 12
+    memory_grades_mb: Tuple[int, ...] = (1024, 2048)
+    keep_alive_s: float = 180.0
+    scale_to_zero_after_s: float = 60.0
+    max_skips: int = 8
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "pool") -> "PoolSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            concurrency=reader.take_int("concurrency", 12, minimum=1),
+            memory_grades_mb=reader.take_int_list(
+                "memory_grades_mb", (1024, 2048), minimum=128
+            ),
+            keep_alive_s=reader.take_float("keep_alive_s", 180.0, minimum=0.0),
+            scale_to_zero_after_s=reader.take_float(
+                "scale_to_zero_after_s", 60.0, minimum=0.0
+            ),
+            max_skips=reader.take_int("max_skips", 8, minimum=0),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "concurrency": self.concurrency,
+            "memory_grades_mb": list(self.memory_grades_mb),
+            "keep_alive_s": self.keep_alive_s,
+            "scale_to_zero_after_s": self.scale_to_zero_after_s,
+            "max_skips": self.max_skips,
+        }
+
+
+@dataclass(frozen=True)
+class PricingSpec:
+    """Billing rates (``[pricing]``)."""
+
+    #: $ per GB-second of billed function time (the paper's Table 2 rate)
+    rate_per_gb_s: float = 1.7e-5
+    #: platform idle keep-alive re-billed at this fraction of active rate
+    idle_rate_fraction: float = 0.25
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "pricing") -> "PricingSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            rate_per_gb_s=reader.take_float("rate_per_gb_s", 1.7e-5, minimum=0.0),
+            idle_rate_fraction=reader.take_float(
+                "idle_rate_fraction", 0.25, 0.0, 1.0
+            ),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rate_per_gb_s": self.rate_per_gb_s,
+            "idle_rate_fraction": self.idle_rate_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Run budget (``[budget]``): KPI ceilings the run must stay under."""
+
+    max_cost_usd: Optional[float] = None
+    max_exec_time_s: Optional[float] = None
+    #: platform runs only: p95 queue wait ceiling
+    max_queue_wait_p95_s: Optional[float] = None
+    require_converged: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "budget") -> "BudgetSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            max_cost_usd=reader.take_float("max_cost_usd", None, minimum=0.0),
+            max_exec_time_s=reader.take_float("max_exec_time_s", None, minimum=0.0),
+            max_queue_wait_p95_s=reader.take_float(
+                "max_queue_wait_p95_s", None, minimum=0.0
+            ),
+            require_converged=reader.take_bool("require_converged", False),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.max_cost_usd is not None:
+            out["max_cost_usd"] = self.max_cost_usd
+        if self.max_exec_time_s is not None:
+            out["max_exec_time_s"] = self.max_exec_time_s
+        if self.max_queue_wait_p95_s is not None:
+            out["max_queue_wait_p95_s"] = self.max_queue_wait_p95_s
+        if self.require_converged:
+            out["require_converged"] = True
+        return out
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """What the KPI report includes beyond the headline numbers."""
+
+    #: record a span trace and include the critical-path summary
+    #: (single-job sim runs only)
+    critical_path: bool = False
+    #: price the per-job-isolation counterfactual (platform runs only)
+    isolated_baseline: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], path: str = "report") -> "ReportSpec":
+        reader = _Reader(data, path)
+        spec = cls(
+            critical_path=reader.take_bool("critical_path", False),
+            isolated_baseline=reader.take_bool("isolated_baseline", False),
+        )
+        reader.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.critical_path:
+            out["critical_path"] = True
+        if self.isolated_baseline:
+            out["isolated_baseline"] = True
+        return out
+
+
+# -- the top-level spec -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described, replayable scenario."""
+
+    name: str
+    kind: str
+    seed: int = 0
+    description: str = ""
+    workload: Optional[WorkloadSpec] = None
+    sweep: Optional[SweepSpec] = None
+    faults: Optional[FaultSpec] = None
+    traffic: Optional[TrafficSpec] = None
+    jobs: Optional[JobMixSpec] = None
+    pool: Optional[PoolSpec] = None
+    pricing: PricingSpec = field(default_factory=PricingSpec)
+    budget: BudgetSpec = field(default_factory=BudgetSpec)
+    report: ReportSpec = field(default_factory=ReportSpec)
+
+    @property
+    def deterministic(self) -> bool:
+        """True when two runs at the same seed are bit-identical.
+
+        The sim backend (and every platform run) is deterministic by
+        construction; the ``local``/``procs`` backends run on real
+        threads/processes and genuine wall-clock time.
+        """
+        if self.kind == "platform":
+            return True
+        return self.workload is not None and self.workload.backend == "sim"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready nested dict; lossless input to :func:`spec_from_dict`."""
+        out: Dict[str, Any] = {
+            "scenario": {
+                "name": self.name,
+                "kind": self.kind,
+                "seed": self.seed,
+            }
+        }
+        if self.description:
+            out["scenario"]["description"] = self.description
+        for key, section in (
+            ("workload", self.workload),
+            ("sweep", self.sweep),
+            ("faults", self.faults),
+            ("traffic", self.traffic),
+            ("jobs", self.jobs),
+            ("pool", self.pool),
+        ):
+            if section is not None:
+                out[key] = section.to_dict()
+        out["pricing"] = self.pricing.to_dict()
+        budget = self.budget.to_dict()
+        if budget:
+            out["budget"] = budget
+        report = self.report.to_dict()
+        if report:
+            out["report"] = report
+        return out
+
+
+_SECTION_KEYS = (
+    "scenario",
+    "workload",
+    "sweep",
+    "faults",
+    "traffic",
+    "jobs",
+    "pool",
+    "pricing",
+    "budget",
+    "report",
+)
+
+#: template names must be CLI- and filename-safe
+_NAME_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Build and cross-validate a :class:`ScenarioSpec` from a parsed dict."""
+    if not isinstance(data, dict):
+        raise SpecError("", f"spec must be a table/object, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(_SECTION_KEYS))
+    if unknown:
+        raise SpecError(
+            unknown[0], f"unknown section (expected one of {list(_SECTION_KEYS)})"
+        )
+    if "scenario" not in data:
+        raise SpecError("scenario", "is required")
+
+    head = _Reader(data["scenario"], "scenario")
+    name = head.take_str("name", _REQUIRED)
+    if not name or not set(name) <= _NAME_CHARS or name[0] == "-":
+        raise SpecError(
+            "scenario.name",
+            f"must be lowercase letters/digits/dashes, got {name!r}",
+        )
+    kind = head.take_str("kind", _REQUIRED, choices=KINDS)
+    seed = head.take_int("seed", 0, minimum=0)
+    description = head.take_str("description", "")
+    head.finish()
+
+    def section(key: str, cls):
+        return cls.from_dict(data[key], key) if key in data else None
+
+    spec = ScenarioSpec(
+        name=name,
+        kind=kind,
+        seed=seed,
+        description=description or "",
+        workload=section("workload", WorkloadSpec),
+        sweep=section("sweep", SweepSpec),
+        faults=section("faults", FaultSpec),
+        traffic=section("traffic", TrafficSpec),
+        jobs=section("jobs", JobMixSpec),
+        pool=section("pool", PoolSpec),
+        pricing=section("pricing", PricingSpec) or PricingSpec(),
+        budget=section("budget", BudgetSpec) or BudgetSpec(),
+        report=section("report", ReportSpec) or ReportSpec(),
+    )
+    _cross_validate(spec)
+    return spec
+
+
+def _cross_validate(spec: ScenarioSpec) -> None:
+    """Kind-conditional and cross-section constraints."""
+    if spec.kind == "single-job":
+        if spec.workload is None:
+            raise SpecError("workload", "is required for kind = 'single-job'")
+        for key in ("traffic", "jobs", "pool"):
+            if getattr(spec, key) is not None:
+                raise SpecError(
+                    key, "is a platform section; not allowed for 'single-job'"
+                )
+        backend = spec.workload.backend
+        if backend != "sim":
+            if spec.faults is not None:
+                raise SpecError(
+                    "faults",
+                    f"fault injection needs workload.backend = 'sim', "
+                    f"got {backend!r}",
+                )
+            if spec.report.critical_path:
+                raise SpecError(
+                    "report.critical_path",
+                    f"span tracing needs workload.backend = 'sim', got {backend!r}",
+                )
+            if spec.pricing != PricingSpec():
+                raise SpecError(
+                    "pricing",
+                    f"cost metering needs workload.backend = 'sim', got {backend!r}",
+                )
+        if spec.report.isolated_baseline:
+            raise SpecError(
+                "report.isolated_baseline", "only applies to kind = 'platform'"
+            )
+        if spec.budget.max_queue_wait_p95_s is not None:
+            raise SpecError(
+                "budget.max_queue_wait_p95_s", "only applies to kind = 'platform'"
+            )
+        if spec.sweep is not None:
+            n = len(spec.sweep.combos(spec.workload.workers,
+                                      spec.workload.isp_threshold))
+            if n > MAX_SWEEP_COMBOS:
+                raise SpecError(
+                    "sweep", f"grid has {n} combos; the cap is {MAX_SWEEP_COMBOS}"
+                )
+    else:  # platform
+        for key in ("workload", "sweep", "faults"):
+            if getattr(spec, key) is not None:
+                raise SpecError(
+                    key, "is a single-job section; not allowed for 'platform'"
+                )
+        if spec.report.critical_path:
+            raise SpecError(
+                "report.critical_path", "only applies to kind = 'single-job'"
+            )
+        if spec.budget.require_converged:
+            raise SpecError(
+                "budget.require_converged", "only applies to kind = 'single-job'"
+            )
+        jobs = spec.jobs or JobMixSpec()
+        pool = spec.pool or PoolSpec()
+        if jobs.max_workers > pool.concurrency:
+            raise SpecError(
+                "jobs.max_workers",
+                f"must be <= pool.concurrency ({pool.concurrency}), "
+                f"got {jobs.max_workers} — such a job could never be admitted",
+            )

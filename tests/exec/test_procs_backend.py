@@ -264,7 +264,8 @@ def _write_ckpt_and_die(kv):
     os._exit(17)  # simulate a kill: no exception, no cleanup
 
 
-def _resume_from_ckpt(kv, out_q):
+def _resume_from_ckpt(kv, out_q, go):
+    go.wait(timeout=120.0)
     out_q.put(kv.get("ckpt/worker/0"))
 
 
@@ -275,20 +276,26 @@ def test_checkpoint_survives_role_process_death():
     request_q = ctx.Queue()
     reply_qs = [ctx.Queue() for _ in range(2)]
     out_q = ctx.Queue()
+    go = ctx.Event()
     victim_kv = ProcKVClient(0, request_q, reply_qs[0])
     resumer_kv = ProcKVClient(1, request_q, reply_qs[1])
 
     victim = ctx.Process(target=_write_ckpt_and_die, args=(victim_kv,), daemon=True)
     resumer = ctx.Process(
-        target=_resume_from_ckpt, args=(resumer_kv, out_q), daemon=True
+        target=_resume_from_ckpt, args=(resumer_kv, out_q, go), daemon=True
     )
+    # Both children fork BEFORE the control-server thread starts — the
+    # same fork-then-threads invariant the backend itself keeps.  The
+    # resumer is gated on `go` so its read still happens strictly after
+    # the writer's death.
     victim.start()
+    resumer.start()
     server = _ControlServer(request_q, reply_qs, [])
     server.start()
     try:
         victim.join(timeout=30.0)
         assert victim.exitcode == 17
-        resumer.start()
+        go.set()
         assert out_q.get(timeout=30.0) == {"step": 5, "note": "pre-crash"}
         resumer.join(timeout=30.0)
         assert resumer.exitcode == 0

@@ -1,0 +1,190 @@
+"""KPI layer: digests, budget evaluation, and *enforced* reconciliation
+— a cooked bill must raise, never silently report."""
+
+import pytest
+
+from repro.scenarios import (
+    BudgetSpec,
+    ReconciliationError,
+    evaluate_budget,
+    kpi_digest,
+    reconcile_platform,
+    reconcile_single_job,
+)
+from repro.scenarios.kpi import finalize_report, summary_lines
+
+
+# -- digest ------------------------------------------------------------------
+
+
+def test_digest_excludes_itself_and_is_stable():
+    payload = {"a": 1, "b": [1.5, "x"], "nested": {"k": True}}
+    d1 = kpi_digest(payload)
+    finalized = finalize_report(dict(payload))
+    assert finalized["digest"] == d1
+    # digest of the finalized payload (digest key present) is unchanged
+    assert kpi_digest(finalized) == d1
+    assert len(d1) == 64
+
+
+def test_digest_is_sensitive_to_values_and_insensitive_to_key_order():
+    base = {"a": 1, "b": 2}
+    assert kpi_digest(base) == kpi_digest({"b": 2, "a": 1})
+    assert kpi_digest(base) != kpi_digest({"a": 1, "b": 3})
+
+
+def test_digest_rejects_nan():
+    with pytest.raises(ValueError):
+        kpi_digest({"x": float("nan")})
+
+
+# -- budget ------------------------------------------------------------------
+
+
+def test_budget_no_limits_always_ok():
+    out = evaluate_budget(BudgetSpec(), {"total_cost_usd": 1e9})
+    assert out == {"ok": True, "violations": []}
+
+
+def test_budget_cost_ceiling():
+    budget = BudgetSpec(max_cost_usd=0.5)
+    assert evaluate_budget(budget, {"total_cost_usd": 0.4})["ok"]
+    out = evaluate_budget(budget, {"total_cost_usd": 0.6})
+    assert not out["ok"]
+    assert out["violations"] == ["total cost ($) 0.6 exceeds budget 0.5"]
+
+
+def test_budget_exec_time_checks_both_exec_and_makespan():
+    budget = BudgetSpec(max_exec_time_s=100.0)
+    assert not evaluate_budget(budget, {"exec_time_s": 150.0})["ok"]
+    assert not evaluate_budget(budget, {"makespan_s": 150.0})["ok"]
+    assert evaluate_budget(budget, {"exec_time_s": 50.0, "makespan_s": 99.0})["ok"]
+
+
+def test_budget_queue_wait_and_convergence():
+    budget = BudgetSpec(max_queue_wait_p95_s=60.0, require_converged=True)
+    out = evaluate_budget(budget, {"queue_wait_p95_s": 61.0, "converged": False})
+    assert len(out["violations"]) == 2
+    assert "run did not converge but the budget requires it" in out["violations"]
+    assert evaluate_budget(budget,
+                           {"queue_wait_p95_s": 59.0, "converged": True})["ok"]
+
+
+# -- single-job reconciliation (fakes expose the exact failure modes) --------
+
+
+class FakeBilling:
+    def __init__(self, total):
+        self._total = total
+
+    def total_cost(self):
+        return self._total
+
+
+class FakeMeter:
+    def __init__(self, breakdown, total=None, faas_total=None):
+        self._breakdown = breakdown
+        self._total = sum(breakdown.values()) if total is None else total
+        self.faas = None if faas_total is None else FakeBilling(faas_total)
+
+    def total_cost(self):
+        return self._total
+
+    def breakdown(self):
+        return dict(self._breakdown)
+
+
+class FakeResult:
+    def __init__(self, meter):
+        self.meter = meter
+
+
+def test_reconcile_single_job_passes_on_exact_books():
+    meter = FakeMeter({"functions": 0.02, "storage": 0.01}, faas_total=0.02)
+    out = reconcile_single_job(FakeResult(meter))
+    assert out["meter_total_usd"] == pytest.approx(0.03)
+    assert out["abs_error_usd"] <= 1e-12
+    assert out["faas_total_usd"] == 0.02
+
+
+def test_reconcile_single_job_fails_on_component_drift():
+    meter = FakeMeter({"functions": 0.02, "storage": 0.01}, total=0.05)
+    with pytest.raises(ReconciliationError, match="billed twice or not at all"):
+        reconcile_single_job(FakeResult(meter))
+
+
+def test_reconcile_single_job_fails_when_functions_line_disagrees_with_bill():
+    meter = FakeMeter({"functions": 0.02, "storage": 0.01}, faas_total=0.03)
+    with pytest.raises(ReconciliationError,
+                       match="under/over-state the serverless bill"):
+        reconcile_single_job(FakeResult(meter))
+
+
+# -- platform reconciliation -------------------------------------------------
+
+
+class FakeInvoiceReport:
+    def __init__(self, invoiced, unattributed, bill):
+        self._check = {
+            "invoiced_active_cost": invoiced,
+            "unattributed_cost": unattributed,
+            "billing_total_cost": bill,
+            "attributed_fraction": (invoiced / bill) if bill else 1.0,
+        }
+
+    def reconcile(self):
+        return dict(self._check)
+
+
+def test_reconcile_platform_passes_on_exact_books():
+    out = reconcile_platform(FakeInvoiceReport(1.0, 0.0, 1.0))
+    assert out["attributed_fraction"] == 1.0
+
+
+def test_reconcile_platform_fails_on_identity_violation():
+    with pytest.raises(ReconciliationError,
+                       match="do not reproduce the cloud bill"):
+        reconcile_platform(FakeInvoiceReport(0.7, 0.1, 1.0))
+
+
+def test_reconcile_platform_strict_rejects_unattributed_residue():
+    # books balance (0.9 + 0.1 == 1.0) but a dime never landed on an
+    # invoice: strict mode (the committed-template bar) must refuse
+    report = FakeInvoiceReport(0.9, 0.1, 1.0)
+    with pytest.raises(ReconciliationError, match="unattributed"):
+        reconcile_platform(report)
+    out = reconcile_platform(report, strict=False)
+    assert out["unattributed_cost"] == pytest.approx(0.1)
+
+
+# -- summary rendering (pure string building, no I/O) ------------------------
+
+
+def test_summary_lines_platform_and_single_job():
+    platform_payload = {
+        "name": "p", "kind": "platform", "seed": 0, "digest": "ab" * 32,
+        "deterministic": True,
+        "kpis": {"jobs": 10.0, "jobs_per_hour": 5.0, "queue_wait_p95_s": 2.0,
+                 "total_cost_usd": 0.5, "cost_per_job_usd": 0.05,
+                 "cold_fraction": 0.25, "isolated_savings_pct": 40.0},
+        "budget": {"ok": True, "violations": []},
+    }
+    text = "\n".join(summary_lines(platform_payload))
+    assert "40.0% cheaper" in text
+    assert "p95 wait=2.00s" in text
+
+    single_payload = {
+        "name": "s", "kind": "single-job", "seed": 3, "digest": "cd" * 32,
+        "deterministic": True,
+        "runs": [{}],
+        "kpis": {"exec_time_s": 12.0, "total_cost_usd": 0.01,
+                 "converged": True, "faults_injected": 4,
+                 "faults_recovered": 4},
+        "recommendation": {"workers": 2, "isp_threshold": 0.7,
+                           "total_cost_usd": 0.01, "exec_time_s": 12.0},
+        "budget": {"ok": False, "violations": ["total cost too high"]},
+    }
+    text = "\n".join(summary_lines(single_payload))
+    assert "faults injected=4 recovered=4" in text
+    assert "recommended config: workers=2" in text
+    assert "BUDGET VIOLATION: total cost too high" in text

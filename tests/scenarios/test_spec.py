@@ -1,0 +1,315 @@
+"""Spec validation: exact error paths + lossless dict round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FAULT_PROFILES
+from repro.scenarios import (
+    FaultSpec,
+    PricingSpec,
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    WorkloadSpec,
+    spec_from_dict,
+)
+from repro.scenarios.spec import MAX_SWEEP_COMBOS
+
+
+def minimal_single_job(**overrides):
+    data = {
+        "scenario": {"name": "t", "kind": "single-job"},
+        "workload": {"name": "pmf-ml10m"},
+    }
+    data.update(overrides)
+    return data
+
+
+def minimal_platform(**overrides):
+    data = {"scenario": {"name": "t", "kind": "platform"}}
+    data.update(overrides)
+    return data
+
+
+# -- exact error messages ----------------------------------------------------
+
+
+def err(data):
+    with pytest.raises(SpecError) as excinfo:
+        spec_from_dict(data)
+    return str(excinfo.value), excinfo.value.path
+
+
+class TestExactMessages:
+    def test_unknown_section(self):
+        msg, path = err(minimal_single_job(chaos={}))
+        assert path == "chaos"
+        assert msg.startswith("chaos: unknown section (expected one of ")
+
+    def test_unknown_key_names_expected_keys(self):
+        msg, _ = err(minimal_single_job(workload={"name": "pmf-ml10m", "foo": 1}))
+        assert msg == (
+            "workload.foo: unknown key (expected one of "
+            "['autotune', 'backend', 'isp_threshold', 'max_steps', "
+            "'name', 'target_loss', 'workers'])"
+        )
+
+    def test_negative_fault_rate(self):
+        msg, path = err(minimal_single_job(faults={"crash_rate": -0.2}))
+        assert msg == "faults.crash_rate: must be >= 0.0, got -0.2"
+        assert path == "faults.crash_rate"
+
+    def test_rate_above_one(self):
+        msg, _ = err(minimal_single_job(faults={"crash_rate": 1.5}))
+        assert msg == "faults.crash_rate: must be <= 1.0, got 1.5"
+
+    def test_bad_type_int(self):
+        msg, _ = err(
+            minimal_single_job(workload={"name": "pmf-ml10m", "workers": "four"})
+        )
+        assert msg == "workload.workers: must be an integer, got 'four'"
+
+    def test_bool_is_not_an_int(self):
+        msg, _ = err(
+            minimal_single_job(workload={"name": "pmf-ml10m", "workers": True})
+        )
+        assert msg == "workload.workers: must be an integer, got True"
+
+    def test_missing_required_key(self):
+        msg, _ = err({"scenario": {"kind": "single-job"}})
+        assert msg == "scenario.name: is required"
+
+    def test_missing_scenario_section(self):
+        msg, _ = err({"workload": {"name": "pmf-ml10m"}})
+        assert msg == "scenario: is required"
+
+    def test_bad_workload_name(self):
+        msg, _ = err(minimal_single_job(workload={"name": "nope"}))
+        assert msg.startswith("workload.name: must be one of [")
+        assert msg.endswith("got 'nope'")
+
+    def test_bad_kind(self):
+        msg, _ = err({"scenario": {"name": "t", "kind": "batch"}})
+        assert msg == (
+            "scenario.kind: must be one of ['platform', 'single-job'], "
+            "got 'batch'"
+        )
+
+    def test_bad_name_charset(self):
+        msg, _ = err({"scenario": {"name": "Bad Name", "kind": "platform"}})
+        assert msg == (
+            "scenario.name: must be lowercase letters/digits/dashes, "
+            "got 'Bad Name'"
+        )
+
+    def test_bad_pair_shape(self):
+        msg, _ = err(minimal_single_job(faults={"crash_window_s": [1.0]}))
+        assert msg == (
+            "faults.crash_window_s: must be a 2-element [lo, hi] number "
+            "list, got [1.0]"
+        )
+
+    def test_inverted_pair(self):
+        msg, _ = err(minimal_single_job(faults={"crash_window_s": [9.0, 1.0]}))
+        assert msg == (
+            "faults.crash_window_s: must satisfy lo <= hi, got [9.0, 1.0]"
+        )
+
+
+# -- structural / cross-section validation -----------------------------------
+
+
+class TestCrossValidation:
+    def test_single_job_requires_workload(self):
+        msg, _ = err({"scenario": {"name": "t", "kind": "single-job"}})
+        assert msg == "workload: is required for kind = 'single-job'"
+
+    def test_platform_rejects_workload(self):
+        msg, _ = err(minimal_platform(workload={"name": "pmf-ml10m"}))
+        assert msg == (
+            "workload: is a single-job section; not allowed for 'platform'"
+        )
+
+    def test_single_job_rejects_pool(self):
+        msg, _ = err(minimal_single_job(pool={"concurrency": 4}))
+        assert msg == "pool: is a platform section; not allowed for 'single-job'"
+
+    def test_faults_need_sim_backend(self):
+        msg, _ = err(
+            minimal_single_job(
+                workload={"name": "pmf-ml10m", "backend": "local"},
+                faults={"crash_rate": 0.1},
+            )
+        )
+        assert "fault injection needs workload.backend = 'sim'" in msg
+
+    def test_pricing_needs_sim_backend(self):
+        msg, _ = err(
+            minimal_single_job(
+                workload={"name": "pmf-ml10m", "backend": "procs"},
+                pricing={"rate_per_gb_s": 2e-5},
+            )
+        )
+        assert "cost metering needs workload.backend = 'sim'" in msg
+
+    def test_default_pricing_ok_on_local_backend(self):
+        spec = spec_from_dict(
+            minimal_single_job(workload={"name": "pmf-ml10m", "backend": "local"})
+        )
+        assert spec.pricing == PricingSpec()
+        assert not spec.deterministic
+
+    def test_jobs_must_fit_pool(self):
+        msg, _ = err(
+            minimal_platform(jobs={"max_workers": 9}, pool={"concurrency": 4})
+        )
+        assert msg.startswith(
+            "jobs.max_workers: must be <= pool.concurrency (4), got 9"
+        )
+
+    def test_profile_and_inline_rates_conflict(self):
+        msg, _ = err(
+            minimal_single_job(
+                faults={"profile": "chaos", "crash_rate": 0.1}
+            )
+        )
+        assert msg == (
+            "faults: sets both a named 'profile' and inline rates; pick one"
+        )
+
+    def test_named_profile_lowers_to_registry_entry(self):
+        spec = spec_from_dict(minimal_single_job(faults={"profile": "chaos"}))
+        assert spec.faults.to_profile("t") is FAULT_PROFILES["chaos"]
+
+    def test_inline_rates_lower_to_fresh_profile(self):
+        spec = spec_from_dict(minimal_single_job(faults={"crash_rate": 0.25}))
+        profile = spec.faults.to_profile("my-scn")
+        assert profile.name == "scenario:my-scn"
+        assert profile.crash_rate == 0.25
+
+    def test_sweep_grid_cap(self):
+        msg, _ = err(
+            minimal_single_job(
+                sweep={
+                    "workers": list(range(1, 14)),
+                    "isp_threshold": [i / 10 for i in range(10)],
+                }
+            )
+        )
+        assert msg == f"sweep: grid has 130 combos; the cap is {MAX_SWEEP_COMBOS}"
+
+    def test_empty_sweep_rejected(self):
+        msg, _ = err(minimal_single_job(sweep={"speed_tolerance": 1.5}))
+        assert msg == (
+            "sweep: must set at least one of 'workers' / 'isp_threshold'"
+        )
+
+    def test_queue_budget_is_platform_only(self):
+        msg, _ = err(minimal_single_job(budget={"max_queue_wait_p95_s": 10.0}))
+        assert msg == (
+            "budget.max_queue_wait_p95_s: only applies to kind = 'platform'"
+        )
+
+    def test_critical_path_is_single_job_only(self):
+        msg, _ = err(minimal_platform(report={"critical_path": True}))
+        assert msg == (
+            "report.critical_path: only applies to kind = 'single-job'"
+        )
+
+
+# -- determinism flag --------------------------------------------------------
+
+
+def test_deterministic_property():
+    assert spec_from_dict(minimal_platform()).deterministic
+    assert spec_from_dict(minimal_single_job()).deterministic
+    local = spec_from_dict(
+        minimal_single_job(workload={"name": "pmf-ml10m", "backend": "local"})
+    )
+    assert not local.deterministic
+
+
+# -- round trips -------------------------------------------------------------
+
+
+FULL_SINGLE_JOB = {
+    "scenario": {
+        "name": "full-single",
+        "kind": "single-job",
+        "seed": 7,
+        "description": "everything set",
+    },
+    "workload": {
+        "name": "lr-criteo",
+        "workers": 6,
+        "backend": "sim",
+        "isp_threshold": 0.5,
+        "autotune": True,
+        "max_steps": 40,
+        "target_loss": 0.56,
+    },
+    "sweep": {"workers": [2, 4], "isp_threshold": [0.0, 0.5],
+              "speed_tolerance": 1.3},
+    "faults": {"crash_rate": 0.1, "crash_window_s": [1.0, 5.0],
+               "straggler_rate": 0.2},
+    "pricing": {"rate_per_gb_s": 2e-5, "idle_rate_fraction": 0.3},
+    "budget": {"max_cost_usd": 1.5, "require_converged": True},
+    "report": {"critical_path": True},
+}
+
+FULL_PLATFORM = {
+    "scenario": {"name": "full-platform", "kind": "platform", "seed": 3},
+    "traffic": {"tenants": 6, "horizon_s": 1800.0, "bursts_per_h": 1.0},
+    "jobs": {"min_workers": 1, "max_workers": 3, "sync_every": 4},
+    "pool": {"concurrency": 5, "memory_grades_mb": [1024]},
+    "budget": {"max_queue_wait_p95_s": 900.0},
+    "report": {"isolated_baseline": True},
+}
+
+
+@pytest.mark.parametrize("data", [FULL_SINGLE_JOB, FULL_PLATFORM],
+                         ids=["single-job", "platform"])
+def test_dict_round_trip_is_lossless(data):
+    spec = spec_from_dict(data)
+    again = spec_from_dict(spec.to_dict())
+    assert again == spec
+    # idempotent: dumping the reparsed spec yields the identical dict
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_defaults_round_trip():
+    spec = spec_from_dict(minimal_single_job())
+    assert spec.workload == WorkloadSpec(name="pmf-ml10m")
+    assert spec.seed == 0
+    assert spec_from_dict(spec.to_dict()) == spec
+
+
+def test_sweep_combos_grid():
+    sweep = SweepSpec(workers=(2, 4), isp_threshold=(0.0, 0.7))
+    assert sweep.combos(8, 0.1) == [(2, 0.0), (2, 0.7), (4, 0.0), (4, 0.7)]
+    # base values fill whichever axis the sweep leaves unset
+    assert SweepSpec(workers=(2, 4)).combos(8, 0.1) == [(2, 0.1), (4, 0.1)]
+    assert SweepSpec(isp_threshold=(0.5,)).combos(8, 0.1) == [(8, 0.5)]
+
+
+def test_fault_spec_round_trip_preserves_pairs_as_tuples():
+    spec = FaultSpec.from_dict({"crash_rate": 0.1, "crash_window_s": [1.0, 5.0]})
+    assert spec.crash_window_s == (1.0, 5.0)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_specs_are_frozen():
+    spec = spec_from_dict(minimal_single_job())
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.seed = 9
+
+
+def test_scenario_spec_importable_from_package():
+    # the public surface re-exports the whole spec layer
+    import repro.scenarios as scenarios
+
+    for name in ("ScenarioSpec", "SpecError", "spec_from_dict",
+                 "run_scenario_spec", "load_spec_text"):
+        assert hasattr(scenarios, name), name
+    assert isinstance(spec_from_dict(minimal_platform()), ScenarioSpec)
