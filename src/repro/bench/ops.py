@@ -35,6 +35,11 @@ to the compare gate's minimum speedup):
     Execution-backend step throughput (local threads vs procs).  Not
     gated by ``--compare`` — the procs-vs-local ratio gate is cpu-aware
     and lives in ``python -m repro.bench backend --check-ratio``.
+``pipeline``
+    Pipeline-parallel stage primitives: a middle stage's forward and
+    backward slices plus the micro-batch split at the injection
+    boundary.  Informational (dense GEMMs, so timings track BLAS);
+    the checksums pin the stage math bit-for-bit.
 ``e2e``
     One small end-to-end MLLess job (the determinism oracle's default
     run); its checksum is the monitor trace digest, so a hot-path
@@ -47,6 +52,7 @@ from typing import List
 
 import numpy as np
 
+from ..ml.data import DenseBatch
 from ..ml.parameters import ModelUpdate, ParameterSet
 from ..ml.sparse import SparseDelta
 from . import workloads
@@ -368,6 +374,44 @@ def _build_ops() -> List[BenchOp]:
             make_state=workloads.warmed_checkpoint,
             run=lambda s, _p: s.snapshot(),
             checksum=_checkpoint,
+        ),
+        BenchOp(
+            name="pipeline.stage_forward",
+            group="pipeline",
+            make_state=workloads.mlp_stage_state,
+            run=lambda s, _p: s[0].stage_forward(s[1], s[2], s[3])[0],
+            checksum=_array,
+            portable=False,
+            note="middle-stage forward slice on one 2k-row micro-batch "
+            "(checksum is BLAS-dependent)",
+        ),
+        BenchOp(
+            name="pipeline.stage_backward",
+            group="pipeline",
+            make_state=workloads.mlp_stage_state,
+            prepare=lambda s: s[0].stage_forward(s[1], s[2], s[3]),
+            run=lambda s, fwd: s[0].stage_backward(
+                s[1], fwd[1], np.full_like(fwd[0], 1e-3), s[3]
+            )[0],
+            checksum=_array,
+            portable=False,
+            note="middle-stage backward slice (input-gradient path; "
+            "checksum is BLAS-dependent)",
+        ),
+        BenchOp(
+            name="pipeline.micro_split_8",
+            group="pipeline",
+            make_state=workloads.mlp_stage_state,
+            run=lambda s, _p: np.concatenate(
+                [
+                    mb.x.sum(axis=0)
+                    for mb in DenseBatch(
+                        s[2], np.zeros((s[2].shape[0], 1))
+                    ).micro_split(8)
+                ]
+            ),
+            checksum=_array,
+            note="the injection boundary: one batch into 8 micro-batches",
         ),
         BenchOp(
             name="sim.timeout_churn_20k",

@@ -57,6 +57,7 @@ _FULL_REPS = {
     "sim": (10, 1),
     "simkernel": (10, 2),
     "backend": (3, 1),
+    "pipeline": (20, 2),
     "e2e": (2, 1),
     "platform": (3, 1),
 }
@@ -68,6 +69,7 @@ _QUICK_REPS = {
     "sim": (3, 1),
     "simkernel": (3, 1),
     "backend": (1, 0),
+    "pipeline": (5, 1),
     "e2e": (1, 0),
     "platform": (2, 0),
 }

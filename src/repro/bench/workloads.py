@@ -34,6 +34,7 @@ __all__ = [
     "peer_state",
     "scatter_state",
     "warmed_checkpoint",
+    "mlp_stage_state",
 ]
 
 #: sparse-LR batch: rows x cols with nnz_per_row stored entries each
@@ -143,3 +144,25 @@ def warmed_checkpoint(seed: int = 505) -> WorkerCheckpoint:
         active_workers=3,
         last_report={"type": "step_done", "step": 3, "worker": 0},
     )
+
+
+#: pipeline stage bench: a mid-sized MLP slice and one micro-batch
+_MLP_STAGE_SIZES = [64, 256, 256, 128, 1]
+_MLP_STAGE_ROWS = 2_000
+
+
+def mlp_stage_state(seed: int = 707):
+    """A middle pipeline stage's inputs: ``(model, params, x, layers)``.
+
+    The layered MLP's full seeded parameter set plus a dense activation
+    block the size of one injected micro-batch; ``layers`` selects the
+    middle weight layer, the slice a three-stage split hands to stage 1.
+    """
+    from ..ml.models import LayeredMLP
+
+    rng = np.random.default_rng(seed)
+    model = LayeredMLP(_MLP_STAGE_SIZES)
+    params = model.init_params(np.random.default_rng(seed + 1))
+    layers = model.stage_layers(3)[1]
+    x = rng.standard_normal((_MLP_STAGE_ROWS, _MLP_STAGE_SIZES[layers[0]]))
+    return model, params, x, layers

@@ -1,5 +1,6 @@
 """MLLess core: driver, supervisor, workers, ISP filter, scale-in tuner."""
 
+from .adaptive import AdaptiveConfig, AdaptiveController, AdaptiveDecision
 from .autotuner import ScaleInScheduler, SchedulerDecision
 from .config import AutoTunerConfig, JobConfig
 from .curves import CurveFitError, ReferenceCurve, SlowCurve, prediction_error
@@ -7,15 +8,19 @@ from .driver import MLLessDriver
 from .ewma import EWMAFilter, ewma
 from .history import RunResult, perf_per_dollar
 from .knee import KneedleDetector, SlopeKneeDetector
+from .pipeline import pipeline_stage_loop
+from .policies import SyncPolicy, gossip_policy, resolve_policy
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter, threshold_at
 from .ssp import ssp_supervisor_loop, ssp_worker_loop
+from .step_machine import supervisor_machine, worker_machine
 from .supervisor import SupervisorState, supervisor_loop
 from .worker import train_step, worker_loop
 
 # The FaaS-handler wrappers (backend-neutral machines driven on the DES)
 # keep their historical names importable from repro.core.
 from ..exec.sim import (  # noqa: E402  (re-export, import order is deliberate)
+    pipeline_stage_handler,
     ssp_supervisor_handler,
     ssp_worker_handler,
     supervisor_handler,
@@ -52,4 +57,14 @@ __all__ = [
     "ssp_supervisor_loop",
     "train_step",
     "SupervisorState",
+    "SyncPolicy",
+    "resolve_policy",
+    "gossip_policy",
+    "worker_machine",
+    "supervisor_machine",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveDecision",
+    "pipeline_stage_loop",
+    "pipeline_stage_handler",
 ]

@@ -1,0 +1,205 @@
+"""SMLT-style adaptive hybrid scaling (PAPERS.md).
+
+SMLT's observation is that no static configuration wins for a whole job:
+when the pool is balanced, the BSP barrier is cheapest (exact averaging,
+trivial convergence accounting); when stragglers appear, every step costs
+``max(worker times)`` and a staleness-bounded gossip mode recovers the
+lost throughput.  The :class:`AdaptiveController` lives inside the
+barrier supervisor and watches the *report-arrival skew* of each barrier
+— the gap between the first and last ``step_done`` arrival, normalized
+by the step duration.  Smoothed through the same
+:class:`~repro.core.ewma.EWMAFilter` machinery the scale-in scheduler
+uses, the skew drives two escalating reactions:
+
+1. **evict** — one persistent straggler (the same worker is last for
+   ``evict_patience`` consecutive barriers while skew is high) is evicted
+   through the ordinary scale-in release path, shrinking the pool;
+2. **switch** — diffuse skew (high smoothed skew for ``patience``
+   barriers with no single culprit, or the eviction budget spent) flips
+   the job from the barrier family to the gossip family mid-step via the
+   ``sync_switch`` epoch handoff in :mod:`repro.core.step_machine`.
+
+The controller is pure bookkeeping: it never yields, never touches
+services, and is cloned with the supervisor checkpoint, so relaunches
+resume its streaks exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .ewma import EWMAFilter
+
+__all__ = ["AdaptiveConfig", "AdaptiveController", "AdaptiveDecision"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning knobs for the adaptive sync/pool controller."""
+
+    #: barriers observed before any decision may fire
+    warmup_steps: int = 5
+    #: EWMA smoothing for the arrival-skew ratio
+    ewma_alpha: float = 0.4
+    #: smoothed skew/duration ratio above which a barrier counts as slow
+    skew_threshold: float = 0.5
+    #: consecutive slow barriers before switching sync family
+    patience: int = 3
+    #: consecutive last-place finishes before a straggler is evicted
+    evict_patience: int = 4
+    #: never evict below this many workers
+    min_pool: int = 2
+    #: eviction budget before the controller escalates to switching
+    max_evictions: int = 1
+    #: barriers to sit out after an eviction (let the pool resettle)
+    cooldown_steps: int = 2
+
+    def __post_init__(self):
+        if self.warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {self.warmup_steps}")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.skew_threshold <= 0:
+            raise ValueError(
+                f"skew_threshold must be > 0, got {self.skew_threshold}"
+            )
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.evict_patience < 1:
+            raise ValueError(
+                f"evict_patience must be >= 1, got {self.evict_patience}"
+            )
+        if self.min_pool < 1:
+            raise ValueError(f"min_pool must be >= 1, got {self.min_pool}")
+        if self.max_evictions < 0:
+            raise ValueError(
+                f"max_evictions must be >= 0, got {self.max_evictions}"
+            )
+        if self.cooldown_steps < 0:
+            raise ValueError(
+                f"cooldown_steps must be >= 0, got {self.cooldown_steps}"
+            )
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """One controller verdict at a barrier."""
+
+    #: "none", "evict" or "switch"
+    action: str
+    #: the straggler to evict (action == "evict" only)
+    victim: Optional[int] = None
+    reason: str = ""
+
+
+_NONE = AdaptiveDecision("none")
+
+
+class AdaptiveController:
+    """Arrival-skew monitor deciding evictions and the sync switch."""
+
+    def __init__(self, config: AdaptiveConfig, n_workers: int):
+        self.config = config
+        self.n_workers = n_workers
+        #: step -> {worker: report arrival time}
+        self._arrivals: Dict[int, Dict[int, float]] = {}
+        self._skew = EWMAFilter(config.ewma_alpha)
+        self._last_barrier: Optional[float] = None
+        self._slow_streak = 0
+        self._last_place: Optional[int] = None
+        self._last_place_streak = 0
+        self._evictions = 0
+        self._cooldown = 0
+        self._barriers_seen = 0
+        #: every non-"none" decision, in order (inspection/tests)
+        self.decisions: List[AdaptiveDecision] = []
+
+    # -- observation -------------------------------------------------------
+
+    def note_report(self, step: int, worker: int, now: float) -> None:
+        """A ``step_done`` report arrived at ``now``."""
+        self._arrivals.setdefault(step, {}).setdefault(worker, now)
+
+    def observe_barrier(self, step: int, now: float, active) -> AdaptiveDecision:
+        """All reports for ``step`` are in: update streaks, maybe act."""
+        arrivals = self._arrivals.pop(step, {})
+        # Drop stale partial entries for abandoned steps.
+        for stale in [s for s in self._arrivals if s <= step]:
+            del self._arrivals[stale]
+        last_barrier, self._last_barrier = self._last_barrier, now
+        self._barriers_seen += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+
+        if len(arrivals) < 2 or last_barrier is None:
+            return _NONE
+        duration = now - last_barrier
+        if duration <= 0:
+            return _NONE
+        times = sorted(arrivals.values())
+        ratio = self._skew.update((times[-1] - times[0]) / duration)
+
+        slow = ratio > self.config.skew_threshold
+        self._slow_streak = self._slow_streak + 1 if slow else 0
+        last_place = max(arrivals, key=lambda w: (arrivals[w], w))
+        if slow and last_place == self._last_place:
+            self._last_place_streak += 1
+        else:
+            self._last_place_streak = 1 if slow else 0
+        self._last_place = last_place
+
+        if (
+            self._barriers_seen <= self.config.warmup_steps
+            or self._cooldown > 0
+        ):
+            return _NONE
+
+        decision = self._decide(last_place, len(active))
+        if decision.action != "none":
+            self.decisions.append(decision)
+        if decision.action == "evict":
+            self._evictions += 1
+            self._cooldown = self.config.cooldown_steps
+            self._last_place_streak = 0
+            self._slow_streak = 0
+            self._skew.reset()
+        return decision
+
+    def _decide(self, last_place: int, pool: int) -> AdaptiveDecision:
+        cfg = self.config
+        if (
+            self._last_place_streak >= cfg.evict_patience
+            and self._evictions < cfg.max_evictions
+            and pool > cfg.min_pool
+        ):
+            return AdaptiveDecision(
+                "evict",
+                victim=last_place,
+                reason=f"straggler for {self._last_place_streak} barriers",
+            )
+        if self._slow_streak >= cfg.patience:
+            return AdaptiveDecision(
+                "switch",
+                reason=f"skew ratio {self._skew.value:.2f} "
+                f"over {self._slow_streak} barriers",
+            )
+        return _NONE
+
+    # -- persistence -------------------------------------------------------
+
+    def clone(self) -> "AdaptiveController":
+        """Independent copy for the supervisor checkpoint snapshot."""
+        dup = AdaptiveController(self.config, self.n_workers)
+        dup._arrivals = {s: dict(a) for s, a in self._arrivals.items()}
+        dup._skew = EWMAFilter(self.config.ewma_alpha)
+        dup._skew._state = self._skew._state
+        dup._last_barrier = self._last_barrier
+        dup._slow_streak = self._slow_streak
+        dup._last_place = self._last_place
+        dup._last_place_streak = self._last_place_streak
+        dup._evictions = self._evictions
+        dup._cooldown = self._cooldown
+        dup._barriers_seen = self._barriers_seen
+        dup.decisions = list(self.decisions)
+        return dup

@@ -10,6 +10,7 @@ from ..faults import FaultProfile
 from ..ml.data.dataset import Dataset
 from ..ml.models.base import Model
 from ..ml.optim.base import Optimizer
+from .adaptive import AdaptiveConfig
 
 __all__ = ["AutoTunerConfig", "JobConfig"]
 
@@ -79,9 +80,11 @@ class JobConfig:
     #: significance threshold v; 0 selects plain BSP
     significance_v: float = 0.0
     #: synchronization protocol: "bsp" (per-step barrier, the paper's
-    #: default) or "ssp" (Stale Synchronous Parallel [13], the relaxation
-    #: §3.1 notes is "easy enough to integrate"); the significance filter
-    #: composes with either
+    #: default), "ssp" (Stale Synchronous Parallel [13], the relaxation
+    #: §3.1 notes is "easy enough to integrate") or "adaptive" (SMLT-style:
+    #: start under the barrier, switch to gossip mid-job when the
+    #: supervisor's AdaptiveController sees sustained arrival skew); the
+    #: significance filter composes with any of them
     sync: str = "bsp"
     #: SSP bound: a worker may run at most this many steps ahead of the
     #: slowest peer
@@ -125,6 +128,18 @@ class JobConfig:
     #: barrier timeouts tolerated per step before the supervisor abandons
     #: the missing workers and shrinks the pool
     max_resyncs_per_step: int = 8
+    #: how long a worker polls for a departed peer's replica before giving
+    #: up (FT mode only — the peer may have crashed before storing it)
+    reintegrate_deadline_s: float = 60.0
+    #: model-parallel pipeline depth; 1 = ordinary data parallelism, > 1
+    #: partitions the model's layers across ``pipeline_stages`` stage
+    #: functions (n_workers must equal pipeline_stages) that forward
+    #: micro-batch activations/gradients through the KV store (FuncPipe)
+    pipeline_stages: int = 1
+    #: micro-batches per step in pipeline mode (>= 2 overlaps stages)
+    micro_batches: int = 1
+    #: controller knobs for sync == "adaptive"; None = AdaptiveConfig()
+    adaptive: Optional[AdaptiveConfig] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -140,7 +155,7 @@ class JobConfig:
                 f"{self.n_workers} workers but only {len(self.dataset)} "
                 f"mini-batches; every worker needs at least one"
             )
-        if self.sync not in ("bsp", "ssp"):
+        if self.sync not in ("bsp", "ssp", "adaptive"):
             raise ValueError(f"unknown sync protocol {self.sync!r}")
         if self.ssp_staleness < 0:
             raise ValueError(
@@ -164,6 +179,66 @@ class JobConfig:
                 "fault tolerance currently requires the BSP barrier; "
                 "disable it (or the fault profile) for SSP runs"
             )
+        if self.sync == "adaptive":
+            if self.autotuner.enabled:
+                raise ValueError(
+                    "sync='adaptive' owns scale-in itself; disable the "
+                    "scale-in auto-tuner for adaptive runs"
+                )
+            if self.ft_enabled:
+                raise ValueError(
+                    "fault tolerance and sync='adaptive' are mutually "
+                    "exclusive (the resync protocol assumes a fixed "
+                    "sync family); disable one of them"
+                )
+        if self.reintegrate_deadline_s <= 0:
+            raise ValueError(
+                "reintegrate_deadline_s must be > 0, got "
+                f"{self.reintegrate_deadline_s}"
+            )
+        if self.pipeline_stages < 1:
+            raise ValueError(
+                f"pipeline_stages must be >= 1, got {self.pipeline_stages}"
+            )
+        if self.micro_batches < 1:
+            raise ValueError(
+                f"micro_batches must be >= 1, got {self.micro_batches}"
+            )
+        if self.pipeline_stages > 1:
+            if self.sync != "bsp":
+                raise ValueError(
+                    "pipeline parallelism uses the barrier supervisor; "
+                    f"sync must be 'bsp', got {self.sync!r}"
+                )
+            if self.significance_v != 0:
+                raise ValueError(
+                    "the significance filter is data-parallel-only; "
+                    "set significance_v=0 for pipeline runs"
+                )
+            if self.autotuner.enabled:
+                raise ValueError(
+                    "a pipeline cannot scale in (every stage holds "
+                    "unique layers); disable the auto-tuner"
+                )
+            if self.ft_enabled:
+                raise ValueError(
+                    "fault tolerance is not yet wired for pipeline "
+                    "stages; disable it (or the fault profile)"
+                )
+            if self.n_workers != self.pipeline_stages:
+                raise ValueError(
+                    "pipeline mode maps one stage per worker function: "
+                    f"n_workers ({self.n_workers}) must equal "
+                    f"pipeline_stages ({self.pipeline_stages})"
+                )
+            if not hasattr(self.model, "stage_layers"):
+                raise ValueError(
+                    f"model {type(self.model).__name__} is not stageable "
+                    "(needs stage_layers/stage_forward/stage_backward)"
+                )
+            # Fail fast on an unpartitionable depth (e.g. more stages
+            # than layers) instead of mid-job.
+            self.model.stage_layers(self.pipeline_stages)
 
     @property
     def sync_model(self) -> str:

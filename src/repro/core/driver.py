@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional
 
 from ..exec.sim import (
+    pipeline_stage_handler,
     ssp_supervisor_handler,
     ssp_worker_handler,
     supervisor_handler,
@@ -163,6 +164,10 @@ class MLLessDriver:
 
     # -- internals -------------------------------------------------------
     def _function_names(self):
+        if self.runtime.config.pipeline_stages > 1:
+            # Model-parallel: one stage function per "worker" slot, the
+            # ordinary barrier supervisor.
+            return "mlless-pipeline-stage", "mlless-supervisor"
         if self.runtime.config.sync == "ssp":
             return "mlless-ssp-worker", "mlless-ssp-supervisor"
         return "mlless-worker", "mlless-supervisor"
@@ -175,6 +180,7 @@ class MLLessDriver:
             "mlless-supervisor": supervisor_handler,
             "mlless-ssp-worker": ssp_worker_handler,
             "mlless-ssp-supervisor": ssp_supervisor_handler,
+            "mlless-pipeline-stage": pipeline_stage_handler,
         }
         for name in (worker_fn, supervisor_fn):
             if not self.platform.is_registered(name):

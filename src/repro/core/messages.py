@@ -27,12 +27,16 @@ __all__ = [
     "control",
     "resync",
     "validate",
+    "act_ready",
+    "grad_ready",
     "STEP_DONE",
     "STEP_COMPLETE",
     "DEPARTED",
     "UPDATE_AVAILABLE",
     "CONTROL",
     "RESYNC",
+    "ACT_READY",
+    "GRAD_READY",
 ]
 
 STEP_DONE = "step_done"
@@ -44,6 +48,10 @@ UPDATE_AVAILABLE = "update_available"
 CONTROL = "control"
 #: FT: supervisor asking a silent worker to re-report / re-sync its step
 RESYNC = "resync"
+#: pipeline: stage s-1 stored a micro-batch activation for stage s
+ACT_READY = "act_ready"
+#: pipeline: stage s+1 stored a micro-batch input gradient for stage s
+GRAD_READY = "grad_ready"
 
 _REQUIRED: Dict[str, List[str]] = {
     STEP_DONE: ["worker", "step", "loss", "has_update", "update_nnz"],
@@ -52,6 +60,8 @@ _REQUIRED: Dict[str, List[str]] = {
     UPDATE_AVAILABLE: ["worker", "step", "has_update"],
     CONTROL: ["command"],
     RESYNC: ["step", "release"],
+    ACT_READY: ["stage", "step", "micro"],
+    GRAD_READY: ["stage", "step", "micro", "loss"],
 }
 
 
@@ -125,6 +135,36 @@ def resync(step: int, release: Optional[Dict[str, Any]] = None) -> Dict[str, Any
         "type": RESYNC,
         "step": int(step),
         "release": release,
+    }
+
+
+def act_ready(stage: int, step: int, micro: int) -> Dict[str, Any]:
+    """Pipeline stage ``stage - 1`` -> ``stage``: activation stored.
+
+    ``stage`` is the *receiver*: the activation sits under
+    ``runtime.activation_key(step, micro, stage)`` and feeds that stage's
+    forward pass for micro-batch ``micro``.
+    """
+    return {
+        "type": ACT_READY,
+        "stage": int(stage),
+        "step": int(step),
+        "micro": int(micro),
+    }
+
+
+def grad_ready(stage: int, step: int, micro: int, loss: float) -> Dict[str, Any]:
+    """Pipeline stage ``stage + 1`` -> ``stage``: input gradient stored.
+
+    ``loss`` carries the micro-batch loss computed at the last stage back
+    upstream so every stage can report the same per-step mean loss.
+    """
+    return {
+        "type": GRAD_READY,
+        "stage": int(stage),
+        "step": int(step),
+        "micro": int(micro),
+        "loss": float(loss),
     }
 
 

@@ -1,0 +1,258 @@
+"""Pipeline-parallel stage machine (FuncPipe-style, PAPERS.md).
+
+When a model's parameter tensors do not fit one function, FuncPipe
+partitions the layers into contiguous *stages*, runs one stage per
+function, and pipelines micro-batches between neighbors through shared
+storage.  This module is that execution scheme on the repo's
+backend-neutral machinery: a stage is **just another machine yielding
+service tokens**, so :mod:`repro.exec.sim` and :mod:`repro.exec.local`
+need no contract changes, and the barrier supervisor coordinates steps
+exactly as it does for data-parallel workers.
+
+Topology per step ``t`` (GPipe-style flush, ``M = micro_batches``):
+
+* stage 0 fetches the step's mini-batch from the object store, splits it
+  into ``M`` micro-batches and *injects them all*: per micro-batch it
+  stores the labels and its forward activations in the KV store and
+  publishes ``act_ready`` to stage 1 — so while stage 1 computes
+  micro-batch 0, stage 0 is already computing micro-batch 1 (>= 2
+  in-flight);
+* a middle stage answers ``act_ready`` by pulling + deleting the
+  activation, running its forward slice, and forwarding downstream; it
+  answers ``grad_ready`` by pulling + deleting the output gradient,
+  running backward, and forwarding the input gradient upstream;
+* the last stage closes the loop: forward, loss + output gradient
+  (labels pulled from stage 0's KV drop), backward, gradient upstream —
+  the micro-batch loss rides the ``grad_ready`` messages so every stage
+  reports the same per-step mean loss;
+* once all ``M`` micro-gradients are home, each stage averages them,
+  runs its own optimizer slice, and enters the ordinary ``step_done`` /
+  ``step_complete`` barrier (``has_update=False``: stages exchange
+  activations and gradients, never parameter updates).
+
+Every stage initializes the *full* model from the job seed and keeps
+only its slice (:func:`repro.core.worker._fresh_checkpoint` does the
+seeded init), so the partition is consistent across functions with no
+startup communication.  Relaunch near the duration cap reuses the
+ordinary :class:`~repro.core.runtime.WorkerCheckpoint` path — stages
+only relaunch between steps, when no activations are in flight.
+
+The ``stage_busy`` (+1/-1 around each compute charge) and
+``pipeline_inflight`` (+1 at injection, -1 when the gradient returns)
+monitor series let tests and notebooks reconstruct the overlap the
+pipeline actually achieved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..exec.protocols import ExecutionContext, Machine
+from ..ml.parameters import ModelUpdate, ParameterSet
+from ..trace.tracer import NO_SPAN
+from . import messages
+from .runtime import JobRuntime, WorkerCheckpoint
+from .significance import SignificanceFilter
+from .worker import _fresh_checkpoint
+
+__all__ = ["pipeline_stage_loop"]
+
+
+def _fresh_stage_checkpoint(
+    runtime: JobRuntime, stage: int, layers: List[int]
+) -> WorkerCheckpoint:
+    """Seeded full-model init, then keep only this stage's tensors."""
+    config = runtime.config
+    full = _fresh_checkpoint(runtime, stage)
+    names = config.model.stage_param_names(layers)
+    params = ParameterSet({name: full.params[name] for name in names})
+    return WorkerCheckpoint(
+        worker_id=stage,
+        step=0,
+        params=params,
+        optimizer=config.make_optimizer(),
+        sig_filter=SignificanceFilter(0.0, params.shapes()),
+        active_workers=config.n_workers,
+    )
+
+
+def _charge(ectx: ExecutionContext, runtime: JobRuntime, flops: float) -> Machine:
+    """Charge stage compute, bracketing it in the ``stage_busy`` series."""
+    runtime.monitor.record("stage_busy", ectx.clock.now(), 1.0)
+    yield ectx.services.compute(
+        runtime.config.calibration.mlless_step_seconds(flops)
+    )
+    runtime.monitor.record("stage_busy", ectx.clock.now(), -1.0)
+
+
+def pipeline_stage_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """One pipeline stage: forward/backward relay + per-step barrier."""
+    runtime: JobRuntime = payload["runtime"]
+    stage: int = payload["worker_id"]
+    config = runtime.config
+    model = config.model
+    sv = ectx.services
+    clock = ectx.clock
+    started = clock.now()
+    tracer = ectx.tracer
+    ectx.annotate(worker=stage, role="stage")
+
+    n_stages = config.pipeline_stages
+    n_micro = config.micro_batches
+    layers = model.stage_layers(n_stages)[stage]
+    is_first = stage == 0
+    is_last = stage == n_stages - 1
+    my_queue = runtime.worker_queue(stage)
+
+    if payload.get("resume"):
+        state = yield sv.kv_get(runtime.checkpoint_key(stage))
+    else:
+        state = _fresh_stage_checkpoint(runtime, stage, layers)
+
+    while True:
+        t = state.step + 1
+        sp_step = NO_SPAN
+        if tracer.enabled:
+            sp_step = tracer.begin(
+                "step", f"step-{t}", worker=stage, step=t, role="stage"
+            )
+        try:
+            losses: Dict[int, float] = {}
+            grads: Dict[int, ModelUpdate] = {}
+            caches: Dict[int, list] = {}
+            done_bwd = 0
+
+            if is_first:
+                # Inject the whole step: all M micro-batches go downstream
+                # back-to-back, which is what fills the pipeline.
+                batch = yield sv.cos_get(
+                    runtime.bucket,
+                    runtime.batch_keys[(t - 1) % len(runtime.batch_keys)],
+                )
+                for m, mb in enumerate(batch.micro_split(n_micro)):
+                    yield sv.kv_set(runtime.label_key(t, m), mb.y)
+                    yield from _charge(
+                        ectx, runtime, model.stage_fwd_flops(mb.n, layers)
+                    )
+                    out, caches[m] = model.stage_forward(state.params, mb.x, layers)
+                    yield sv.kv_set(runtime.activation_key(t, m, stage + 1), out)
+                    yield sv.mq_publish(
+                        runtime.worker_queue(stage + 1),
+                        messages.act_ready(stage + 1, t, m),
+                    )
+                    runtime.monitor.record("pipeline_inflight", clock.now(), 1.0)
+
+            while done_bwd < n_micro:
+                message = yield sv.mq_consume(my_queue)
+                mtype = messages.validate(message)
+                if mtype not in (messages.ACT_READY, messages.GRAD_READY):
+                    raise RuntimeError(f"stage {stage}: unexpected {message!r}")
+                m = message["micro"]
+                if message["step"] != t:
+                    raise RuntimeError(
+                        f"stage {stage}: {mtype} for step {message['step']} "
+                        f"while at step {t}"
+                    )
+
+                if mtype == messages.ACT_READY:
+                    # A micro-batch arrived from upstream: forward it.
+                    act = yield sv.kv_get(runtime.activation_key(t, m, stage))
+                    yield sv.kv_delete(runtime.activation_key(t, m, stage))
+                    yield from _charge(
+                        ectx, runtime,
+                        model.stage_fwd_flops(act.shape[0], layers),
+                    )
+                    out, cache = model.stage_forward(state.params, act, layers)
+                    if is_last:
+                        # Close the loop: loss + backward, gradient upstream.
+                        y = yield sv.kv_get(runtime.label_key(t, m))
+                        yield sv.kv_delete(runtime.label_key(t, m))
+                        loss_m, grad_out = model.output_grad(out, y)
+                        losses[m] = loss_m
+                        yield from _charge(
+                            ectx, runtime,
+                            model.stage_bwd_flops(act.shape[0], layers),
+                        )
+                        grad_in, grads[m] = model.stage_backward(
+                            state.params, cache, grad_out, layers
+                        )
+                        yield sv.kv_set(runtime.grad_key(t, m, stage - 1), grad_in)
+                        yield sv.mq_publish(
+                            runtime.worker_queue(stage - 1),
+                            messages.grad_ready(stage - 1, t, m, loss_m),
+                        )
+                        done_bwd += 1
+                    else:
+                        caches[m] = cache
+                        yield sv.kv_set(
+                            runtime.activation_key(t, m, stage + 1), out
+                        )
+                        yield sv.mq_publish(
+                            runtime.worker_queue(stage + 1),
+                            messages.act_ready(stage + 1, t, m),
+                        )
+                else:  # GRAD_READY
+                    losses[m] = message["loss"]
+                    grad_out = yield sv.kv_get(runtime.grad_key(t, m, stage))
+                    yield sv.kv_delete(runtime.grad_key(t, m, stage))
+                    cache = caches.pop(m)
+                    yield from _charge(
+                        ectx, runtime,
+                        model.stage_bwd_flops(grad_out.shape[0], layers),
+                    )
+                    grad_in, grads[m] = model.stage_backward(
+                        state.params, cache, grad_out, layers
+                    )
+                    if is_first:
+                        # The micro-batch's round trip is complete.
+                        runtime.monitor.record(
+                            "pipeline_inflight", clock.now(), -1.0
+                        )
+                    else:
+                        yield sv.kv_set(runtime.grad_key(t, m, stage - 1), grad_in)
+                        yield sv.mq_publish(
+                            runtime.worker_queue(stage - 1),
+                            messages.grad_ready(stage - 1, t, m, message["loss"]),
+                        )
+                    done_bwd += 1
+
+            # All M micro-gradients are home: average (m-ordered — the
+            # arrival interleaving must not change the float sums), step
+            # this stage's optimizer slice, apply locally.
+            mean_grad = ModelUpdate.merge_many(
+                grads[m] for m in range(n_micro)
+            ).scale(1.0 / n_micro)
+            update = state.optimizer.step(state.params, mean_grad, t)
+            state.params.apply(update)
+            loss = float(np.mean([losses[m] for m in range(n_micro)]))
+
+            # The ordinary barrier.  has_update=False: stages never
+            # exchange parameter updates, so the release carries no
+            # senders and the supervisor GCs nothing.
+            yield sv.mq_publish(
+                runtime.supervisor_queue,
+                messages.step_done(stage, t, loss, False, 0),
+            )
+            release = yield sv.mq_consume(my_queue)
+            if messages.validate(release) != messages.STEP_COMPLETE:
+                raise RuntimeError(f"stage {stage}: unexpected {release!r}")
+            if release["step"] != t:
+                raise RuntimeError(
+                    f"stage {stage}: barrier for step {release['step']} "
+                    f"while at step {t}"
+                )
+            state.step = t
+            state.active_workers = release["active"]
+            if release["stop"]:
+                return {"worker": stage, "steps": t, "outcome": "converged"}
+
+            if clock.remaining_time(started) < config.relaunch_margin_s:
+                # Between steps nothing is in flight: the plain worker
+                # checkpoint (params slice + optimizer) is complete.
+                yield sv.kv_set(runtime.checkpoint_key(stage), state)
+                return {"worker": stage, "steps": t, "outcome": "relaunch"}
+        finally:
+            if sp_step >= 0:
+                tracer.end(sp_step)

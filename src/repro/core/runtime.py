@@ -77,6 +77,19 @@ class JobRuntime:
     def checkpoint_key(self, worker: int) -> str:
         return f"ckpt/worker-{worker}"
 
+    # pipeline-parallel keys: ``stage`` is always the *consuming* stage
+    def activation_key(self, step: int, micro: int, stage: int) -> str:
+        """Micro-batch activation feeding ``stage``'s forward pass."""
+        return f"act/{step}/{micro}/{stage}"
+
+    def grad_key(self, step: int, micro: int, stage: int) -> str:
+        """Micro-batch output gradient feeding ``stage``'s backward pass."""
+        return f"grad/{step}/{micro}/{stage}"
+
+    def label_key(self, step: int, micro: int) -> str:
+        """Micro-batch labels, stage 0 -> the last stage's loss."""
+        return f"lbl/{step}/{micro}"
+
     @property
     def supervisor_checkpoint_key(self) -> str:
         return "ckpt/supervisor"

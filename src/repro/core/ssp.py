@@ -1,4 +1,4 @@
-"""Stale Synchronous Parallel workers and supervisor.
+"""The gossip synchronization family: SSP workers and supervisor.
 
 The paper's default synchronization is BSP, but §3.1 notes that "less
 strict synchronization models such as SSP [13] are easy enough to
@@ -14,25 +14,31 @@ integrate".  This module integrates it:
 The significance filter composes unchanged (ISP-over-SSP); the scale-in
 auto-tuner is BSP-only (enforced by :class:`~repro.core.config.JobConfig`).
 
-SSP is a *synchronization policy* of the shared training core, not a
-parallel implementation: the per-step fetch → compute → gradient →
-filter → publish sequence is :func:`repro.core.worker.train_step`, the
-same machine the BSP worker runs.  Only what surrounds it differs — the
-staleness gate and direct peer broadcasts here, the barrier there.
+Like the barrier family, this is a *synchronization policy* of the shared
+training core, not a parallel implementation: the per-step fetch →
+compute → gradient → filter → publish sequence is
+:func:`repro.core.worker.train_step`, driven by the same
+:func:`repro.core.step_machine.worker_machine` skeleton.  This module
+contributes the **gossip family** phases (:class:`GossipWorkerPhases`:
+drain + staleness gate / peer broadcast) and the gossip supervisor epoch
+— which the adaptive mode also enters mid-job after a ``sync_switch``
+handoff, with the pool size it inherited from the barrier phase.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..exec.protocols import ExecutionContext, Machine
 from . import messages
+from .policies import SCALE_CONFIGURED, SyncPolicy
 from .runtime import JobRuntime, WorkerCheckpoint
-from .worker import _fresh_checkpoint, train_step
+from .step_machine import StepSpans, supervisor_machine, worker_machine
+from .worker import _fresh_checkpoint
 
-__all__ = ["ssp_worker_loop", "ssp_supervisor_loop"]
+__all__ = ["ssp_worker_loop", "ssp_supervisor_loop", "GossipWorkerPhases"]
 
 
 class _SSPView:
@@ -76,37 +82,67 @@ def _handle_message(
         raise RuntimeError(f"SSP worker got unexpected {mtype!r}")
 
 
-def ssp_worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
-    """One SSP worker machine."""
-    runtime: JobRuntime = payload["runtime"]
-    worker_id: int = payload["worker_id"]
-    config = runtime.config
-    sv = ectx.services
-    clock = ectx.clock
-    started = clock.now()
+class GossipWorkerPhases:
+    """The gossip (SSP, and post-switch adaptive) worker phases."""
 
-    if payload.get("resume"):
-        state, view = yield sv.kv_get(runtime.checkpoint_key(worker_id))
-    else:
-        state = _fresh_checkpoint(runtime, worker_id)
-        view = _SSPView(worker_id, config.n_workers)
+    def __init__(
+        self, ectx: ExecutionContext, runtime: JobRuntime, policy: SyncPolicy
+    ):
+        self.ectx = ectx
+        self.runtime = runtime
+        self.policy = policy
+        self.view: _SSPView = None
+        self.partition: List[int] = []
+        self.my_queue = ""
+        self.started = 0.0
 
-    partition = runtime.partitions[worker_id]
-    my_queue = runtime.worker_queue(worker_id)
+    def restore(self, payload: Dict[str, Any]) -> Machine:
+        """Fresh replica + view, checkpoint resume, or barrier handoff."""
+        runtime = self.runtime
+        config = runtime.config
+        sv = self.ectx.services
+        worker_id: int = payload["worker_id"]
+        self.started = self.ectx.clock.now()
 
-    while True:
-        t = state.step + 1
+        if "handoff" in payload:
+            # Mid-job switch from the barrier family: the replica is
+            # live and every peer finished the same barrier, so the
+            # staleness gate starts satisfied.
+            handoff = payload["handoff"]
+            state = handoff["state"]
+            view = _SSPView(worker_id, config.n_workers)
+            view.peer_progress = {p: handoff["step"] for p in handoff["peers"]}
+        elif "stored" in payload:
+            # Pre-fetched by the step machine's adaptive resume sniff.
+            state, view = payload["stored"]
+        elif payload.get("resume"):
+            state, view = yield sv.kv_get(runtime.checkpoint_key(worker_id))
+        else:
+            state = _fresh_checkpoint(runtime, worker_id)
+            view = _SSPView(worker_id, config.n_workers)
+
+        self.view = view
+        self.partition = runtime.partitions[worker_id]
+        self.my_queue = runtime.worker_queue(worker_id)
+        return state
+
+    def begin(self, state: WorkerCheckpoint, t: int) -> Machine:
+        """Drain delivered peer traffic, then hold the staleness gate."""
+        sv = self.ectx.services
+        runtime = self.runtime
+        view = self.view
+        worker_id = state.worker_id
 
         # Drain everything already delivered (peer updates, stop orders).
-        pending = yield sv.mq_drain(my_queue)
+        pending = yield sv.mq_drain(self.my_queue)
         for message in pending:
             yield from _handle_message(sv, runtime, state, view, message)
         if view.stop:
             return {"worker": worker_id, "steps": state.step, "outcome": "stopped"}
 
         # The staleness gate: block until the slowest peer is close enough.
-        while (t - 1) - view.slowest_peer_step() > config.ssp_staleness:
-            message = yield sv.mq_consume(my_queue)
+        while (t - 1) - view.slowest_peer_step() > self.policy.staleness:
+            message = yield sv.mq_consume(self.my_queue)
             yield from _handle_message(sv, runtime, state, view, message)
             if view.stop:
                 return {
@@ -114,34 +150,68 @@ def ssp_worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
                     "steps": state.step,
                     "outcome": "stopped",
                 }
+        return None
 
-        # One local step — the shared core, scaled by the *configured*
-        # pool size (SSP runs without the scale-in auto-tuner) — then
-        # announce the update to the peers and report to the supervisor.
-        loss, outgoing, has_update = yield from train_step(
-            ectx, runtime, state, partition, t, 1.0 / config.n_workers
-        )
+    def scale(self, state: WorkerCheckpoint) -> float:
+        # Plain SSP averages over the *configured* pool (no auto-tuner);
+        # a post-switch adaptive job keeps averaging over the workers
+        # that actually remain after barrier-phase evictions.
+        if self.policy.scale_mode == SCALE_CONFIGURED:
+            return 1.0 / self.runtime.config.n_workers
+        return 1.0 / state.active_workers
+
+    def synchronize(
+        self,
+        state: WorkerCheckpoint,
+        t: int,
+        loss: float,
+        outgoing,
+        has_update: bool,
+        spans: StepSpans,
+    ) -> Machine:
+        """Announce the update to the peers, report to the supervisor."""
+        sv = self.ectx.services
+        runtime = self.runtime
+        worker_id = state.worker_id
         yield sv.broadcast(
             messages.update_available(worker_id, t, has_update),
-            exclude=my_queue,
+            exclude=self.my_queue,
         )
         yield sv.mq_publish(
             runtime.supervisor_queue,
             messages.step_done(worker_id, t, loss, has_update, outgoing.nnz),
         )
         state.step = t
+        return None
 
-        if clock.remaining_time(started) < config.relaunch_margin_s:
-            yield sv.kv_set(runtime.checkpoint_key(worker_id), (state, view))
-            return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+    def persist(self, state: WorkerCheckpoint, t: int) -> Machine:
+        """Relaunch near the duration cap (state and view together)."""
+        ectx = self.ectx
+        config = self.runtime.config
+        if ectx.clock.remaining_time(self.started) < config.relaunch_margin_s:
+            yield ectx.services.kv_set(
+                self.runtime.checkpoint_key(state.worker_id), (state, self.view)
+            )
+            return {"worker": state.worker_id, "steps": t, "outcome": "relaunch"}
+        return None
 
 
-def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
-    """The SSP supervisor machine (loss aggregation + stop order).
+def ssp_worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """One SSP worker machine (the gossip family of the step machine)."""
+    return worker_machine(ectx, payload)
 
-    Collects ``step_done`` reports; a step is *complete* once every worker
-    has reported it.  Completion times give the loss/step-duration series;
-    the stop condition matches the BSP supervisor's.
+
+def gossip_supervisor_epoch(
+    ectx: ExecutionContext, payload: Dict[str, Any]
+) -> Machine:
+    """The gossip supervisor epoch (loss aggregation + stop order).
+
+    Collects ``step_done`` reports; a step is *complete* once every
+    expected worker has reported it.  Completion times give the
+    loss/step-duration series; the stop condition matches the barrier
+    supervisor's.  After an adaptive handoff the expected pool is
+    whatever survived the barrier phase, and the loss/step series
+    continue unbroken from the barrier epoch's counters.
     """
     runtime: JobRuntime = payload["runtime"]
     config = runtime.config
@@ -149,7 +219,19 @@ def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Mach
     clock = ectx.clock
     started = clock.now()
 
-    if payload.get("resume"):
+    if "handoff" in payload:
+        handoff = payload["handoff"]
+        state = {
+            "reports": {},        # step -> {worker: loss}
+            "completed": handoff["completed"],
+            "last_time": handoff["last_time"],
+            "job_started_at": handoff["job_started_at"],
+            "n_expected": handoff["n_expected"],
+        }
+    elif "stored" in payload:
+        # Pre-fetched by the step machine's adaptive resume sniff.
+        state = payload["stored"]
+    elif payload.get("resume"):
         state = yield sv.kv_get(runtime.supervisor_checkpoint_key)
     else:
         state = {
@@ -159,6 +241,10 @@ def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Mach
             "job_started_at": clock.now(),
         }
         runtime.monitor.record("workers", clock.now(), config.n_workers)
+
+    # Plain SSP expects the configured pool; a post-switch epoch expects
+    # the pool the barrier phase handed over.
+    expected = state.get("n_expected", config.n_workers)
 
     while True:
         message = yield sv.mq_consume(runtime.supervisor_queue)
@@ -170,7 +256,7 @@ def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Mach
         next_step = state["completed"] + 1
         while (
             next_step in state["reports"]
-            and len(state["reports"][next_step]) == config.n_workers
+            and len(state["reports"][next_step]) == expected
         ):
             now = clock.now()
             mean_loss = float(np.mean(list(state["reports"][next_step].values())))
@@ -206,3 +292,8 @@ def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Mach
         if clock.remaining_time(started) < config.relaunch_margin_s:
             yield sv.kv_set(runtime.supervisor_checkpoint_key, state)
             return {"outcome": "relaunch"}
+
+
+def ssp_supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The SSP supervisor machine (the gossip family dispatcher)."""
+    return supervisor_machine(ectx, payload)

@@ -1,0 +1,161 @@
+"""The unified per-step worker/supervisor machines.
+
+Before this module the BSP and SSP training loops were two hand-written
+pairs (``core/worker.py`` + ``core/supervisor.py`` and ``core/ssp.py``)
+that duplicated the step skeleton.  Now there is exactly one worker
+skeleton (:func:`worker_machine`) and one supervisor dispatcher
+(:func:`supervisor_machine`); what used to be the loop bodies survives
+as *policy phase objects* selected by the job's
+:class:`~repro.core.policies.SyncPolicy`:
+
+========  ==========================  ===========================
+phase     barrier family              gossip family
+========  ==========================  ===========================
+restore   checkpoint / fresh replica  checkpoint / fresh + view
+begin     merge evicted peer replica  drain peers, staleness gate
+(step)    :func:`train_step` — shared by every policy
+sync      report, barrier, pull       broadcast update, report
+persist   barrier ckpt + relaunch     relaunch checkpoint
+========  ==========================  ===========================
+
+The phase objects live next to the machinery they reuse
+(``BarrierWorkerPhases`` in :mod:`repro.core.worker`,
+``GossipWorkerPhases`` in :mod:`repro.core.ssp`) and are imported
+lazily here to keep the module graph acyclic.
+
+Every phase preserves the pre-refactor service-call sequence **exactly**
+— the pinned seed-digest tests in ``tests/exec/test_backend_seam.py``
+hold the refactor to byte-identical monitor traces for BSP, SSP and the
+chaos variants.
+
+Mid-job policy switching (the SMLT-style adaptive mode) works by
+*epochs*: a phase may finish with a ``sync_switch`` outcome carrying a
+handoff dict, and the machine re-enters the loop under
+:func:`~repro.core.policies.gossip_policy` with the same live state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..exec.protocols import ExecutionContext, Machine
+from ..trace.tracer import NO_SPAN
+from .policies import BARRIER, gossip_policy, resolve_policy
+from .runtime import JobRuntime
+
+__all__ = ["worker_machine", "supervisor_machine", "StepSpans"]
+
+
+class StepSpans:
+    """The per-step tracer spans a barrier worker opens and must close.
+
+    Handed into the synchronize phase so it can close the barrier span
+    the moment the release arrives (the span's self time is the genuine
+    peer wait); the machine's ``finally`` closes whatever is left open
+    when a step exits early.
+    """
+
+    __slots__ = ("step", "barrier")
+
+    def __init__(self):
+        self.step = NO_SPAN
+        self.barrier = NO_SPAN
+
+
+def _worker_phases(policy):
+    if policy.family == BARRIER:
+        from .worker import BarrierWorkerPhases
+
+        return BarrierWorkerPhases
+    from .ssp import GossipWorkerPhases
+
+    return GossipWorkerPhases
+
+
+def worker_machine(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The one worker machine every synchronization policy runs through."""
+    from .worker import train_step
+
+    runtime: JobRuntime = payload["runtime"]
+    config = runtime.config
+    tracer = ectx.tracer
+    policy = resolve_policy(config)
+
+    if payload.get("resume") and config.sync == "adaptive":
+        # An adaptive job may have switched families before this
+        # relaunch; the checkpoint's shape says which side wrote it
+        # (gossip checkpoints are (state, view) tuples).
+        stored = yield ectx.services.kv_get(
+            runtime.checkpoint_key(payload["worker_id"])
+        )
+        if isinstance(stored, tuple):
+            policy = gossip_policy(config)
+        payload = {**payload, "stored": stored}
+
+    while True:
+        phases = _worker_phases(policy)(ectx, runtime, policy)
+        state = yield from phases.restore(payload)
+        worker_id = state.worker_id
+        outcome = None
+
+        while outcome is None:
+            t = state.step + 1
+            spans = StepSpans()
+            if policy.traced_steps and tracer.enabled:
+                spans.step = tracer.begin(
+                    "step", f"step-{t}", worker=worker_id, step=t
+                )
+            try:
+                outcome = yield from phases.begin(state, t)
+                if outcome is not None:
+                    break
+                loss, outgoing, has_update = yield from train_step(
+                    ectx, runtime, state, phases.partition, t, phases.scale(state)
+                )
+                outcome = yield from phases.synchronize(
+                    state, t, loss, outgoing, has_update, spans
+                )
+                if outcome is not None:
+                    break
+                outcome = yield from phases.persist(state, t)
+            finally:
+                if spans.barrier >= 0:
+                    tracer.end(spans.barrier)
+                if spans.step >= 0:
+                    tracer.end(spans.step)
+
+        if outcome.get("outcome") != "sync_switch":
+            return outcome
+        # Mid-job policy switch: same replica, new coordination family.
+        policy = gossip_policy(config)
+        payload = {
+            "runtime": runtime,
+            "worker_id": worker_id,
+            "handoff": {**outcome["handoff"], "state": state},
+        }
+
+
+def supervisor_machine(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The supervisor dispatcher: one epoch per active policy family."""
+    runtime: JobRuntime = payload["runtime"]
+    config = runtime.config
+    policy = resolve_policy(config)
+
+    if payload.get("resume") and config.sync == "adaptive":
+        # Same family sniffing as the worker: the gossip supervisor
+        # checkpoints a plain dict, the barrier one a SupervisorState.
+        stored = yield ectx.services.kv_get(runtime.supervisor_checkpoint_key)
+        if isinstance(stored, dict):
+            policy = gossip_policy(config)
+        payload = {**payload, "stored": stored}
+
+    while True:
+        if policy.family == BARRIER:
+            from .supervisor import barrier_supervisor_epoch as epoch
+        else:
+            from .ssp import gossip_supervisor_epoch as epoch
+        outcome = yield from epoch(ectx, payload)
+        if not (isinstance(outcome, dict) and outcome.get("outcome") == "sync_switch"):
+            return outcome
+        policy = gossip_policy(config)
+        payload = {"runtime": runtime, "handoff": outcome["handoff"]}

@@ -31,10 +31,12 @@ import numpy as np
 from ..exec.protocols import ExecutionContext, Machine
 from ..storage import StorageError
 from . import messages
+from .adaptive import AdaptiveConfig, AdaptiveController
 from .autotuner import ScaleInScheduler
 from .runtime import JobRuntime
+from .step_machine import supervisor_machine
 
-__all__ = ["supervisor_loop", "SupervisorState"]
+__all__ = ["supervisor_loop", "SupervisorState", "barrier_supervisor_epoch"]
 
 #: barrier releases kept for re-sending to lagging workers (steps)
 _RELEASE_WINDOW = 4
@@ -61,6 +63,15 @@ class SupervisorState:
         self.releases: Dict[int, Dict[str, Any]] = {}
         #: barrier timeouts seen while waiting on the current step
         self.resyncs_this_step = 0
+        #: arrival-skew controller (sync == "adaptive" only)
+        self.adaptive: Optional[AdaptiveController] = (
+            AdaptiveController(config.adaptive or AdaptiveConfig(), config.n_workers)
+            if config.sync == "adaptive"
+            else None
+        )
+        #: set when the controller ordered the switch to the gossip
+        #: family; the epoch returns it as the sync_switch handoff
+        self.pending_switch: Optional[Dict[str, Any]] = None
 
     def snapshot(self) -> "SupervisorState":
         """An independent copy safe to hand to the KV store.
@@ -77,6 +88,8 @@ class SupervisorState:
         dup.scheduler = self.scheduler.clone()
         dup.gc_backlog = {step: list(keys) for step, keys in self.gc_backlog.items()}
         dup.releases = dict(self.releases)
+        if self.adaptive is not None:
+            dup.adaptive = self.adaptive.clone()
         return dup
 
     @property
@@ -86,7 +99,14 @@ class SupervisorState:
 
 
 def supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
-    """The supervisor control-loop machine."""
+    """The supervisor machine entry point (family-dispatching)."""
+    return supervisor_machine(ectx, payload)
+
+
+def barrier_supervisor_epoch(
+    ectx: ExecutionContext, payload: Dict[str, Any]
+) -> Machine:
+    """The barrier supervisor control loop (one policy epoch)."""
     runtime: JobRuntime = payload["runtime"]
     config = runtime.config
     sv = ectx.services
@@ -94,7 +114,10 @@ def supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
     started = clock.now()
     ectx.annotate(role="supervisor")
 
-    if payload.get("resume"):
+    if "stored" in payload:
+        # Pre-fetched by the step machine's adaptive resume sniff.
+        state = payload["stored"]
+    elif payload.get("resume"):
         if config.ft_enabled:
             stored = yield sv.kv_get_or_none(runtime.supervisor_checkpoint_key)
             if stored is None:
@@ -141,6 +164,10 @@ def supervisor_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
                 "reason": state.stop_reason,
                 "converged": state.stop_reason == "target",
             }
+        if state.pending_switch is not None:
+            # The controller ordered the switch and the release carrying
+            # it went out: hand this epoch's counters to the gossip one.
+            return {"outcome": "sync_switch", "handoff": state.pending_switch}
 
         if clock.remaining_time(started) < config.relaunch_margin_s:
             snapshot = state.snapshot() if config.ft_enabled else state
@@ -185,6 +212,8 @@ def _handle_step_done(
 
     state.reports.setdefault(step, {})[worker] = message
     state.last_loss[worker] = message["loss"]
+    if state.adaptive is not None:
+        state.adaptive.note_report(step, worker, ectx.clock.now())
     return (yield from _maybe_release_barrier(ectx, runtime, state, step))
 
 
@@ -231,11 +260,38 @@ def _maybe_release_barrier(
                     reason=decision.reason,
                     s_delta=decision.s_delta,
                 )
+    switch_to = None
+    if state.adaptive is not None and not stop:
+        decision = state.adaptive.observe_barrier(step, now, state.active)
+        if (
+            decision.action == "evict"
+            and evict is None
+            and state.pending_eviction is None
+        ):
+            evict = decision.victim
+            runtime.monitor.record("adaptive_evict", now, float(evict))
+            if runtime.tracer.enabled:
+                runtime.tracer.event(
+                    "scale_in",
+                    "evict",
+                    step=step,
+                    victim=evict,
+                    reason=decision.reason,
+                    s_delta=0.0,
+                )
+        elif decision.action == "switch":
+            switch_to = "ssp"
+
     senders = [w for w, m in sorted(collected.items()) if m["has_update"]]
     next_active = len(state.active) - (1 if evict is not None else 0)
     release = messages.step_complete(
         step, stop, senders, next_active, evict=evict
     )
+    if switch_to is not None:
+        # Extra keys are schema-legal (validate() checks required fields
+        # only); non-adaptive workers never look for them.
+        release["switch"] = switch_to
+        release["peers"] = sorted(state.active)
     if runtime.tracer.enabled:
         runtime.tracer.event(
             "barrier",
@@ -253,6 +309,18 @@ def _maybe_release_barrier(
     if evict is not None:
         state.pending_eviction = evict
         state.active.discard(evict)
+    if switch_to is not None:
+        runtime.monitor.record("sync_switch", now, 1.0)
+        if runtime.tracer.enabled:
+            runtime.tracer.event(
+                "sync_switch", switch_to, step=step, active=len(state.active)
+            )
+        state.pending_switch = {
+            "completed": state.completed_step,
+            "last_time": state.last_barrier_time,
+            "job_started_at": state.job_started_at,
+            "n_expected": len(state.active),
+        }
 
     # Garbage-collect old update keys: once every worker has pulled the
     # updates of step t (guaranteed after the barrier of step t+2), their

@@ -24,9 +24,16 @@ that performs all I/O by yielding :data:`~repro.exec.protocols.ServiceCall`
 tokens minted by its :class:`~repro.exec.protocols.ExecutionContext` —
 never DES events, sockets, or the host clock directly.  The same machine
 runs bit-identically on the simulator (:mod:`repro.exec.sim`) and for
-real on threads (:mod:`repro.exec.local`).  Steps 2–4 live in
-:func:`train_step`, which the SSP worker (:mod:`repro.core.ssp`) reuses —
-BSP and SSP differ only in synchronization policy, not in the step core.
+real on threads (:mod:`repro.exec.local`).
+
+Since the step-machine refactor the per-step skeleton lives in
+:func:`repro.core.step_machine.worker_machine`; this module contributes
+the **barrier family** of its policy phases
+(:class:`BarrierWorkerPhases`: restore / reintegrate / barrier
+synchronize / checkpoint-and-relaunch) plus the step core
+:func:`train_step`, which every synchronization policy shares — BSP, SSP
+and adaptive differ only in what surrounds the step, never in the step
+itself.
 """
 
 from __future__ import annotations
@@ -39,14 +46,12 @@ from ..exec.protocols import ExecutionContext, Machine
 from ..storage import StorageError
 from ..trace.tracer import NO_SPAN
 from . import messages
+from .policies import SyncPolicy
 from .runtime import JobRuntime, WorkerCheckpoint
 from .significance import SignificanceFilter
+from .step_machine import StepSpans, worker_machine
 
-__all__ = ["worker_loop", "train_step"]
-
-#: how long a worker polls for a departed peer's replica before giving up
-#: (FT mode only — the peer may have crashed before storing it)
-_REINTEGRATE_DEADLINE_S = 60.0
+__all__ = ["worker_loop", "train_step", "BarrierWorkerPhases"]
 
 
 def _fresh_checkpoint(runtime: JobRuntime, worker_id: int) -> WorkerCheckpoint:
@@ -76,15 +81,14 @@ def train_step(
     t: int,
     scale: float,
 ) -> Machine:
-    """One local training step, shared by the BSP and SSP workers.
+    """One local training step, shared by every synchronization policy.
 
     Fetch the next mini-batch → charge compute → gradient → optimizer
     step scaled by ``scale`` (gradient averaging, §3.2) → apply locally →
     significance-filter → publish the significant part to the KV store.
 
     ``scale`` is the only algorithmic knob the synchronization policies
-    disagree on: BSP divides by the *current* pool size (it shrinks under
-    scale-in), SSP by the configured pool size (fixed — no auto-tuner).
+    disagree on — see :attr:`~repro.core.policies.SyncPolicy.scale_mode`.
 
     Returns ``(loss, outgoing, has_update)``.
     """
@@ -122,131 +126,178 @@ def train_step(
     return loss, outgoing, has_update
 
 
-def worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
-    """The BSP/ISP worker machine: train until stop/evict/relaunch."""
-    runtime: JobRuntime = payload["runtime"]
-    worker_id: int = payload["worker_id"]
-    config = runtime.config
-    sv = ectx.services
-    clock = ectx.clock
-    started = clock.now()
-    tracer = ectx.tracer
-    ectx.annotate(worker=worker_id, role="worker")
+class BarrierWorkerPhases:
+    """The barrier (BSP/ISP, and pre-switch adaptive) worker phases."""
 
-    if payload.get("resume"):
-        if config.ft_enabled:
-            stored = yield sv.kv_get_or_none(runtime.checkpoint_key(worker_id))
-            if stored is None:
-                # Crashed before the first checkpoint: start over.
-                state = _fresh_checkpoint(runtime, worker_id)
-                runtime.note_recovery("worker_fresh_restart")
+    def __init__(
+        self, ectx: ExecutionContext, runtime: JobRuntime, policy: SyncPolicy
+    ):
+        self.ectx = ectx
+        self.runtime = runtime
+        self.policy = policy
+        self.partition: List[int] = []
+        self.my_queue = ""
+        self.started = 0.0
+
+    def restore(self, payload: Dict[str, Any]) -> Machine:
+        """Fresh replica, or resume from the KV checkpoint."""
+        ectx = self.ectx
+        runtime = self.runtime
+        config = runtime.config
+        sv = ectx.services
+        worker_id: int = payload["worker_id"]
+        self.started = ectx.clock.now()
+        ectx.annotate(worker=worker_id, role="worker")
+
+        if "stored" in payload:
+            # The step machine already fetched the checkpoint to sniff
+            # which policy family wrote it (adaptive resume).
+            state = payload["stored"]
+        elif payload.get("resume"):
+            if config.ft_enabled:
+                stored = yield sv.kv_get_or_none(runtime.checkpoint_key(worker_id))
+                if stored is None:
+                    # Crashed before the first checkpoint: start over.
+                    state = _fresh_checkpoint(runtime, worker_id)
+                    runtime.note_recovery("worker_fresh_restart")
+                else:
+                    # Snapshot so this activation's mutations never alias
+                    # the checkpointed object still sitting in the KV store.
+                    state = stored.snapshot()
+                    runtime.note_recovery("worker_resumed")
             else:
-                # Snapshot so this activation's mutations never alias the
-                # checkpointed object still sitting in the KV store.
-                state = stored.snapshot()
-                runtime.note_recovery("worker_resumed")
+                state = yield sv.kv_get(runtime.checkpoint_key(worker_id))
         else:
-            state = yield sv.kv_get(runtime.checkpoint_key(worker_id))
-    else:
-        state = _fresh_checkpoint(runtime, worker_id)
+            state = _fresh_checkpoint(runtime, worker_id)
 
-    partition = runtime.partitions[worker_id]
-    my_queue = runtime.worker_queue(worker_id)
+        self.partition = runtime.partitions[worker_id]
+        self.my_queue = runtime.worker_queue(worker_id)
+        return state
 
-    while True:
-        t = state.step + 1
-        sp_step = NO_SPAN
-        sp_barrier = NO_SPAN
+    def begin(self, state: WorkerCheckpoint, t: int) -> Machine:
+        """Pending reintegration of an evicted peer's replica."""
+        if state.pending_replica is not None:
+            yield from _reintegrate(self.ectx, self.runtime, state)
+        return None
+
+    def scale(self, state: WorkerCheckpoint) -> float:
+        # The *current* pool size: barrier pools shrink under scale-in.
+        return 1.0 / state.active_workers
+
+    def synchronize(
+        self,
+        state: WorkerCheckpoint,
+        t: int,
+        loss: float,
+        outgoing,
+        has_update: bool,
+        spans: StepSpans,
+    ) -> Machine:
+        """Report to the supervisor, block on its release, pull peers."""
+        ectx = self.ectx
+        runtime = self.runtime
+        config = runtime.config
+        sv = ectx.services
+        tracer = ectx.tracer
+        worker_id = state.worker_id
+
+        # The barrier span's self time is the genuine peer wait — the
+        # queue wait in mq.consume happens before its charge span.
         if tracer.enabled:
-            sp_step = tracer.begin("step", f"step-{t}", worker=worker_id, step=t)
-        try:
-            # (1) pending reintegration of an evicted peer's replica.
-            if state.pending_replica is not None:
-                yield from _reintegrate(ectx, runtime, state)
-
-            # (2–4) the shared step core: fetch, compute, optimize,
-            # filter, publish — scaled by the *current* pool size.
-            loss, outgoing, has_update = yield from train_step(
-                ectx, runtime, state, partition, t, 1.0 / state.active_workers
+            spans.barrier = tracer.begin(
+                "barrier", f"barrier-{t}", worker=worker_id, step=t
             )
+        report = messages.step_done(worker_id, t, loss, has_update, outgoing.nnz)
+        if config.ft_enabled:
+            # Kept so a lost report can be re-published on resync.
+            state.last_report = report
+        yield sv.mq_publish(runtime.supervisor_queue, report)
 
-            # (5+6) barrier: report to the supervisor, wait for its release.
-            # The barrier span's self time is the genuine peer wait — the
-            # queue wait in mq.consume happens before its charge span.
-            if tracer.enabled:
-                sp_barrier = tracer.begin(
-                    "barrier", f"barrier-{t}", worker=worker_id, step=t
+        if config.ft_enabled:
+            release = yield from _await_release(sv, runtime, state, self.my_queue, t)
+        else:
+            release = yield sv.mq_consume(self.my_queue)
+            if messages.validate(release) != messages.STEP_COMPLETE:
+                raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
+            if release["step"] != t:
+                raise RuntimeError(
+                    f"worker {worker_id}: barrier for step {release['step']} "
+                    f"while at step {t}"
                 )
-            report = messages.step_done(worker_id, t, loss, has_update, outgoing.nnz)
-            if config.ft_enabled:
-                # Kept so a lost report can be re-published on resync.
-                state.last_report = report
-            yield sv.mq_publish(runtime.supervisor_queue, report)
+        if spans.barrier >= 0:
+            tracer.end(spans.barrier)
+            spans.barrier = NO_SPAN
+        peer_updates = []
+        for peer in release["senders"]:
+            if peer == worker_id:
+                continue
+            peer_updates.append((yield sv.kv_get(runtime.update_key(t, peer))))
+        # Fused scatter, bit-identical to applying one update at a time in
+        # sender order (see ParameterSet.apply_many).  Peers must NOT be
+        # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
+        # floats, and the convergence traces are checked bit-exactly.
+        state.params.apply_many(peer_updates)
 
-            if config.ft_enabled:
-                release = yield from _await_release(sv, runtime, state, my_queue, t)
-            else:
-                release = yield sv.mq_consume(my_queue)
-                if messages.validate(release) != messages.STEP_COMPLETE:
-                    raise RuntimeError(f"worker {worker_id}: unexpected {release!r}")
-                if release["step"] != t:
-                    raise RuntimeError(
-                        f"worker {worker_id}: barrier for step {release['step']} "
-                        f"while at step {t}"
-                    )
-            if sp_barrier >= 0:
-                tracer.end(sp_barrier)
-                sp_barrier = NO_SPAN
-            peer_updates = []
-            for peer in release["senders"]:
-                if peer == worker_id:
-                    continue
-                peer_updates.append((yield sv.kv_get(runtime.update_key(t, peer))))
-            # Fused scatter, bit-identical to applying one update at a time in
-            # sender order (see ParameterSet.apply_many).  Peers must NOT be
-            # pre-merged into one update: (w + v1) + v2 != w + (v1 + v2) in
-            # floats, and the convergence traces are checked bit-exactly.
-            state.params.apply_many(peer_updates)
+        state.step = t
+        state.active_workers = release["active"]
 
-            state.step = t
-            state.active_workers = release["active"]
+        evicted = release["evict"]
+        if evicted == worker_id:
+            yield from _depart(sv, runtime, state)
+            return {"worker": worker_id, "steps": t, "outcome": "evicted"}
+        if evicted is not None:
+            state.pending_replica = (t, evicted)
 
-            evicted = release["evict"]
-            if evicted == worker_id:
-                yield from _depart(sv, runtime, state)
-                return {"worker": worker_id, "steps": t, "outcome": "evicted"}
-            if evicted is not None:
-                state.pending_replica = (t, evicted)
+        if release["stop"]:
+            return {"worker": worker_id, "steps": t, "outcome": "converged"}
 
-            if release["stop"]:
-                return {"worker": worker_id, "steps": t, "outcome": "converged"}
+        if self.policy.name == "adaptive" and release.get("switch") == "ssp":
+            # The controller ordered the sync switch: hand the live
+            # replica to the gossip family (peers are at step t too).
+            return {
+                "outcome": "sync_switch",
+                "handoff": {
+                    "step": t,
+                    "peers": [p for p in release["peers"] if p != worker_id],
+                },
+            }
+        return None
 
-            # FT: periodic barrier checkpoint so a crashed activation resumes
-            # from the last completed step instead of from scratch.  Snapshot:
-            # the KV store holds objects by reference, and the live replica
-            # keeps mutating after the write.
-            checkpointed = False
-            ckpt_every = config.checkpoint_every
-            if ckpt_every and t % ckpt_every == 0:
-                try:
-                    yield sv.kv_set(
-                        runtime.checkpoint_key(worker_id), state.snapshot()
-                    )
-                    checkpointed = True
-                except StorageError:
-                    # A lost checkpoint only costs recomputation after a crash.
-                    runtime.note_recovery("checkpoint_skipped")
+    def persist(self, state: WorkerCheckpoint, t: int) -> Machine:
+        """Periodic FT checkpoint; relaunch near the duration cap."""
+        ectx = self.ectx
+        runtime = self.runtime
+        config = runtime.config
+        sv = ectx.services
+        worker_id = state.worker_id
 
-            # Relaunch before the platform kills the activation.
-            if clock.remaining_time(started) < config.relaunch_margin_s:
-                if not checkpointed:
-                    yield sv.kv_set(runtime.checkpoint_key(worker_id), state)
-                return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
-        finally:
-            if sp_barrier >= 0:
-                tracer.end(sp_barrier)
-            if sp_step >= 0:
-                tracer.end(sp_step)
+        # FT: periodic barrier checkpoint so a crashed activation resumes
+        # from the last completed step instead of from scratch.  Snapshot:
+        # the KV store holds objects by reference, and the live replica
+        # keeps mutating after the write.
+        checkpointed = False
+        ckpt_every = config.checkpoint_every
+        if ckpt_every and t % ckpt_every == 0:
+            try:
+                yield sv.kv_set(
+                    runtime.checkpoint_key(worker_id), state.snapshot()
+                )
+                checkpointed = True
+            except StorageError:
+                # A lost checkpoint only costs recomputation after a crash.
+                runtime.note_recovery("checkpoint_skipped")
+
+        # Relaunch before the platform kills the activation.
+        if ectx.clock.remaining_time(self.started) < config.relaunch_margin_s:
+            if not checkpointed:
+                yield sv.kv_set(runtime.checkpoint_key(worker_id), state)
+            return {"worker": worker_id, "steps": t, "outcome": "relaunch"}
+        return None
+
+
+def worker_loop(ectx: ExecutionContext, payload: Dict[str, Any]) -> Machine:
+    """The worker machine entry point (barrier families by default)."""
+    return worker_machine(ectx, payload)
 
 
 def _await_release(
@@ -308,7 +359,7 @@ def _reintegrate(
     # The replica may not be stored yet; poll with short waits.  With FT
     # on, the departed peer may have crashed before storing it: give up
     # after a deadline instead of polling forever.
-    deadline = ectx.clock.now() + _REINTEGRATE_DEADLINE_S
+    deadline = ectx.clock.now() + runtime.config.reintegrate_deadline_s
     while not (yield sv.kv_exists(key)):
         if runtime.config.ft_enabled and ectx.clock.now() >= deadline:
             runtime.note_recovery("reintegration_skipped")

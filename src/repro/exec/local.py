@@ -42,6 +42,7 @@ from queue import Empty, Queue
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.history import RunResult
+from ..core.pipeline import pipeline_stage_loop
 from ..core.runtime import JobRuntime
 from ..core.ssp import ssp_supervisor_loop, ssp_worker_loop
 from ..core.supervisor import supervisor_loop
@@ -399,7 +400,9 @@ def run_local_job(
         mq.declare(queue)
         exchange.bind(queue)
 
-    if config.sync == "ssp":
+    if config.pipeline_stages > 1:
+        worker_fn, supervisor_fn = pipeline_stage_loop, supervisor_loop
+    elif config.sync == "ssp":
         worker_fn, supervisor_fn = ssp_worker_loop, ssp_supervisor_loop
     else:
         worker_fn, supervisor_fn = worker_loop, supervisor_loop

@@ -694,6 +694,11 @@ def run_procs_job(config: Any, max_duration_s: float = 600.0) -> RunResult:
         bindings.append(queue)
     mq.seal()
 
+    if config.pipeline_stages > 1:
+        raise ValueError(
+            "the procs backend does not support pipeline-parallel jobs; "
+            "use the sim or local backend"
+        )
     if config.sync == "ssp":
         worker_fn, supervisor_fn = ssp_worker_loop, ssp_supervisor_loop
     else:

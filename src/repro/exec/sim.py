@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator
 
+from ..core.pipeline import pipeline_stage_loop
 from ..core.ssp import ssp_supervisor_loop, ssp_worker_loop
 from ..core.supervisor import supervisor_loop
 from ..core.worker import worker_loop
@@ -43,6 +44,7 @@ __all__ = [
     "supervisor_handler",
     "ssp_worker_handler",
     "ssp_supervisor_handler",
+    "pipeline_stage_handler",
 ]
 
 
@@ -209,4 +211,7 @@ supervisor_handler = as_sim_handler(supervisor_loop, "FaaS handler: the barrier 
 ssp_worker_handler = as_sim_handler(ssp_worker_loop, "FaaS handler: the SSP worker machine.")
 ssp_supervisor_handler = as_sim_handler(
     ssp_supervisor_loop, "FaaS handler: the SSP supervisor machine."
+)
+pipeline_stage_handler = as_sim_handler(
+    pipeline_stage_loop, "FaaS handler: one pipeline-parallel stage machine."
 )

@@ -167,14 +167,23 @@ def mlless_config(
     dataset=None,
     autotuner_kwargs: Optional[dict] = None,
     faults: Optional[FaultProfile] = None,
+    fault_tolerance: Optional[bool] = None,
+    sync: str = "bsp",
+    pipeline_stages: int = 1,
+    micro_batches: int = 1,
+    adaptive_kwargs: Optional[dict] = None,
 ) -> JobConfig:
     """A :class:`JobConfig` for a named workload (see experiments.settings).
 
     The scheduling epoch defaults to 5 s (the paper uses 20 s on jobs an
     order of magnitude longer; the ratio epoch/exec-time is preserved),
     with the knee detector tuned for the scaled runs' shorter histories.
+    ``sync``/``pipeline_stages``/``micro_batches`` expose the pluggable
+    sync policies and the pipeline-parallel execution scheme;
+    ``adaptive_kwargs`` overrides :class:`~repro.core.AdaptiveConfig`
+    fields when ``sync="adaptive"``.
     """
-    from ..core import AutoTunerConfig
+    from ..core import AdaptiveConfig, AutoTunerConfig
 
     at_kwargs = {
         "epoch_s": 5.0,
@@ -184,11 +193,15 @@ def mlless_config(
         "knee_patience": 4,
     }
     at_kwargs.update(autotuner_kwargs or {})
+    adaptive = None
+    if sync == "adaptive":
+        adaptive = AdaptiveConfig(**(adaptive_kwargs or {}))
     return JobConfig(
         model=workload.model(),
         make_optimizer=workload.make_optimizer,
         dataset=dataset if dataset is not None else workload.dataset(seed=1),
         n_workers=n_workers,
+        sync=sync,
         significance_v=v,
         target_loss=(
             workload.target_loss if target_loss is None else target_loss
@@ -198,6 +211,10 @@ def mlless_config(
         seed=seed,
         autotuner=AutoTunerConfig(enabled=autotune, **at_kwargs),
         faults=faults,
+        fault_tolerance=fault_tolerance,
+        pipeline_stages=pipeline_stages,
+        micro_batches=micro_batches,
+        adaptive=adaptive,
     )
 
 

@@ -26,11 +26,13 @@ from typing import Callable, Dict
 from ..ml.data import (
     CriteoSpec,
     Dataset,
+    MLPSpec,
     MovieLensSpec,
     criteo_like,
+    mlp_synth,
     movielens_like,
 )
-from ..ml.models import LogisticRegression, PMF
+from ..ml.models import LayeredMLP, LogisticRegression, PMF
 from ..ml.models.base import Model
 from ..ml.optim import Adam, InverseSqrtLR, MomentumSGD
 from ..ml.optim.base import Optimizer
@@ -154,10 +156,46 @@ def _pmf_ml20m() -> Workload:
     return _pmf("pmf-ml20m", _ML20M_SPEC, target=0.72, deep=0.69, rank=24)
 
 
+# ---------------------------------------------------------------------------
+# Layered MLP on dense synthetic regression data (Adam).  Not a Table 1
+# workload: this is the dense model-parallel job (FuncPipe-style stages,
+# see PAPERS.md) and the data-parallel cross-backend reference.  Four
+# weight layers so it splits into up to four pipeline stages.
+# ---------------------------------------------------------------------------
+
+_MLP_SPEC = MLPSpec(
+    n_samples=8_000,
+    n_features=32,
+    hidden=(24, 24),
+    n_outputs=1,
+    batch_size=400,
+    noise=0.1,
+)
+
+_MLP_SIZES = [_MLP_SPEC.n_features, 64, 64, 32, _MLP_SPEC.n_outputs]
+
+
+def _mlp_synth() -> Workload:
+    return Workload(
+        name="mlp-synth",
+        make_model=lambda: LayeredMLP(_MLP_SIZES),
+        make_optimizer=lambda: Adam(lr=0.01),
+        make_dataset=lambda seed: mlp_synth(_MLP_SPEC, seed=seed),
+        batch_size=_MLP_SPEC.batch_size,
+        target_loss=0.02,
+        deep_target_loss=0.008,
+        default_v=0.0,  # dense gradients: ISP filtering does not apply
+        default_workers=4,
+        metric="mse",
+        description="dense layered MLP, planted-teacher regression data",
+    )
+
+
 WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "lr-criteo": _lr_criteo,
     "pmf-ml10m": _pmf_ml10m,
     "pmf-ml20m": _pmf_ml20m,
+    "mlp-synth": _mlp_synth,
 }
 
 

@@ -1,6 +1,6 @@
 """Datasets: containers, synthetic generators, normalization, hashing."""
 
-from .dataset import Dataset, LRBatch, PMFBatch
+from .dataset import Dataset, DenseBatch, LRBatch, PMFBatch
 from .hashing import hash_categoricals, hash_feature
 from .normalize import (
     FeatureStats,
@@ -9,15 +9,25 @@ from .normalize import (
     minmax_stats,
     normalize_dataset,
 )
-from .synthetic import CriteoSpec, MovieLensSpec, criteo_like, movielens_like
+from .synthetic import (
+    CriteoSpec,
+    MLPSpec,
+    MovieLensSpec,
+    criteo_like,
+    mlp_synth,
+    movielens_like,
+)
 
 __all__ = [
     "Dataset",
     "LRBatch",
     "PMFBatch",
+    "DenseBatch",
     "CriteoSpec",
+    "MLPSpec",
     "MovieLensSpec",
     "criteo_like",
+    "mlp_synth",
     "movielens_like",
     "FeatureStats",
     "minmax_stats",

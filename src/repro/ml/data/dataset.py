@@ -12,6 +12,10 @@ types cover the paper's workloads:
     ``(user, movie, rating)`` triples — matrix factorization on
     MovieLens-like data.
 
+``DenseBatch``
+    Dense feature/target matrices — the layered-MLP workload, sliceable
+    into micro-batches for pipeline parallelism.
+
 ``Dataset``
     An ordered collection of batches with helpers for staging into the
     object store and for round-robin partitioning across workers.
@@ -26,7 +30,7 @@ import numpy as np
 
 from ..sparse import CSRMatrix
 
-__all__ = ["LRBatch", "PMFBatch", "Dataset"]
+__all__ = ["LRBatch", "PMFBatch", "DenseBatch", "Dataset"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,48 @@ class PMFBatch:
     @property
     def nbytes(self) -> int:
         return self.users.size * 4 + self.movies.size * 4 + self.ratings.size * 8
+
+
+@dataclass(frozen=True)
+class DenseBatch:
+    """A dense regression mini-batch: ``x`` (n, d_in), ``y`` (n, d_out)."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        if self.x.ndim != 2 or self.y.ndim != 2:
+            raise ValueError(
+                f"x and y must be 2-D, got {self.x.shape} and {self.y.shape}"
+            )
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"row mismatch: x has {self.x.shape[0]}, y has {self.y.shape[0]}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.x.nbytes + self.y.nbytes
+
+    def micro_split(self, parts: int) -> List["DenseBatch"]:
+        """Near-even contiguous row split into ``parts`` micro-batches."""
+        if not 1 <= parts <= self.n:
+            raise ValueError(
+                f"parts must be in [1, {self.n}], got {parts}"
+            )
+        base, extra = divmod(self.n, parts)
+        out: List["DenseBatch"] = []
+        start = 0
+        for i in range(parts):
+            size = base + (1 if i < extra else 0)
+            out.append(DenseBatch(self.x[start:start + size],
+                                  self.y[start:start + size]))
+            start += size
+        return out
 
 
 BatchT = TypeVar("BatchT")

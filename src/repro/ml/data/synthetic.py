@@ -16,19 +16,31 @@ paper's evaluation exercises: **high sparsity** and **fast convergence**.
     and Gaussian noise, clipped to the 0.5–5 star range.  Popularity is
     Zipf-distributed so some movies are rated far more than others, as in
     MovieLens.
+
+``mlp_synth``
+    Dense regression data from a planted *teacher* MLP with Gaussian
+    observation noise — the layered-MLP workload that exercises dense
+    data parallelism and pipeline-parallel stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from ..sparse import CSRMatrix
-from .dataset import Dataset, LRBatch, PMFBatch
+from .dataset import Dataset, DenseBatch, LRBatch, PMFBatch
 
-__all__ = ["criteo_like", "movielens_like", "CriteoSpec", "MovieLensSpec"]
+__all__ = [
+    "criteo_like",
+    "movielens_like",
+    "mlp_synth",
+    "CriteoSpec",
+    "MLPSpec",
+    "MovieLensSpec",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +122,49 @@ def criteo_like(spec: CriteoSpec = CriteoSpec(), seed: int = 0) -> Dataset:
         y[flips] = 1.0 - y[flips]
         batches.append(LRBatch(CSRMatrix.from_rows(rows, n_features), y))
     return Dataset(batches, name=f"criteo-like-{spec.n_samples}")
+
+
+@dataclass(frozen=True)
+class MLPSpec:
+    """Shape of a dense regression dataset for the layered-MLP workload."""
+
+    n_samples: int = 8_000
+    n_features: int = 32
+    #: hidden widths of the planted teacher network
+    hidden: Tuple[int, ...] = (24, 24)
+    n_outputs: int = 1
+    batch_size: int = 400
+    noise: float = 0.1
+
+
+def mlp_synth(spec: MLPSpec = MLPSpec(), seed: int = 0) -> Dataset:
+    """Dense regression data from a planted tanh teacher network.
+
+    Inputs are standard normal; targets are the teacher's forward pass
+    plus ``noise``-scaled Gaussian observation noise.  A student MLP of
+    comparable capacity drives the MSE down fast, which keeps the
+    pipeline and data-parallel convergence runs short.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = [spec.n_features, *spec.hidden, spec.n_outputs]
+    weights = [
+        rng.normal(0.0, 1.0 / np.sqrt(sizes[i]), size=(sizes[i], sizes[i + 1]))
+        for i in range(len(sizes) - 1)
+    ]
+    biases = [rng.normal(0.0, 0.1, size=sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+    x = rng.normal(0.0, 1.0, (spec.n_samples, spec.n_features))
+    a = x
+    for i, (W, b) in enumerate(zip(weights, biases)):
+        z = a @ W + b
+        a = np.tanh(z) if i < len(weights) - 1 else z
+    y = a + rng.normal(0.0, spec.noise, a.shape)
+
+    batches: List[DenseBatch] = []
+    for start in range(0, spec.n_samples, spec.batch_size):
+        stop = min(start + spec.batch_size, spec.n_samples)
+        batches.append(DenseBatch(x[start:stop], y[start:stop]))
+    return Dataset(batches, name=f"mlp-synth-{spec.n_samples}")
 
 
 @dataclass(frozen=True)

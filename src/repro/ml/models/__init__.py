@@ -1,9 +1,17 @@
-"""Trainable models: logistic regression, linear regression, PMF."""
+"""Trainable models: logistic regression, linear regression, PMF, MLP."""
 
 from .base import Model
 from .biased_pmf import BiasedPMF
 from .linear_regression import LinearRegression
 from .logistic_regression import LogisticRegression
+from .mlp import LayeredMLP
 from .pmf import PMF
 
-__all__ = ["Model", "LogisticRegression", "LinearRegression", "PMF", "BiasedPMF"]
+__all__ = [
+    "Model",
+    "LogisticRegression",
+    "LinearRegression",
+    "PMF",
+    "BiasedPMF",
+    "LayeredMLP",
+]

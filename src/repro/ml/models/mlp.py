@@ -1,0 +1,198 @@
+"""A dense layered MLP, partitionable across pipeline stages (FuncPipe).
+
+The paper's workloads are sparse LR/PMF jobs whose updates fit one
+function; ROADMAP item 3 asks for the opposite regime — a dense model
+whose parameter tensors are *partitioned across functions*.  FuncPipe
+(PAPERS.md) shows the serverless recipe: split the layers into
+contiguous stages, run one stage per function, and pipeline micro-batch
+activations/gradients between neighbors through shared storage.
+
+``LayeredMLP`` is that model.  Besides the ordinary :class:`Model`
+interface (data-parallel training with the regular worker), it exposes
+*stage primitives* used by :mod:`repro.core.pipeline`:
+
+* :meth:`stage_layers` — contiguous near-even layer partition;
+* :meth:`stage_forward` / :meth:`stage_backward` — run a slice of the
+  network, caching exactly what backward needs;
+* :meth:`output_grad` — loss + output-gradient at the last stage;
+* :meth:`stage_fwd_flops` / :meth:`stage_bwd_flops` — the calibrated
+  cost of a stage pass.
+
+:meth:`gradient` is implemented *from* the stage primitives over all
+layers, so data-parallel and pipeline training share the same math by
+construction — the cross-backend loss test pins them together.
+
+Architecture: ``layer_sizes = [d_in, h1, ..., d_out]``, tanh hidden
+activations, linear output, squared error
+``loss = 0.5 * mean_n sum_out (y_hat - y)^2``.  All tensors are dense
+float64; gradients travel as :class:`~repro.ml.sparse.SparseDelta` like
+every other update in the repo (``from_dense`` drops exact zeros only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..parameters import ModelUpdate, ParameterSet
+from ..sparse import SparseDelta
+from .base import Model
+
+__all__ = ["LayeredMLP"]
+
+
+class LayeredMLP(Model):
+    """Fully-connected tanh network with a linear output layer."""
+
+    metric_name = "mse"
+
+    def __init__(self, layer_sizes: Sequence[int]):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValueError(f"need >= 2 layer sizes, got {sizes}")
+        if any(s < 1 for s in sizes):
+            raise ValueError(f"layer sizes must be >= 1, got {sizes}")
+        self.layer_sizes = sizes
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers (= len(layer_sizes) - 1)."""
+        return len(self.layer_sizes) - 1
+
+    # -- Model interface ---------------------------------------------------
+
+    def init_params(self, rng: np.random.Generator) -> ParameterSet:
+        """1/sqrt(fan-in) normal weights, zero biases, fixed layer order."""
+        tensors: Dict[str, np.ndarray] = {}
+        for i in range(self.n_layers):
+            fan_in = self.layer_sizes[i]
+            fan_out = self.layer_sizes[i + 1]
+            tensors[f"W{i}"] = rng.normal(
+                0.0, 1.0 / np.sqrt(fan_in), size=(fan_in, fan_out)
+            )
+            tensors[f"b{i}"] = np.zeros(fan_out)
+        return ParameterSet(tensors)
+
+    def gradient(self, params: ParameterSet, batch) -> Tuple[float, ModelUpdate]:
+        # Composed from the stage primitives over all layers, so the
+        # data-parallel gradient IS the pipeline gradient by construction.
+        layers = list(range(self.n_layers))
+        out, cache = self.stage_forward(params, batch.x, layers)
+        loss, grad_out = self.output_grad(out, batch.y)
+        _, update = self.stage_backward(params, cache, grad_out, layers)
+        return loss, update
+
+    def loss(self, params: ParameterSet, batch) -> float:
+        out, _ = self.stage_forward(params, batch.x, list(range(self.n_layers)))
+        r = out - batch.y
+        return float(0.5 * np.mean(np.sum(r * r, axis=1)))
+
+    # -- stage primitives (pipeline parallelism) ---------------------------
+
+    def stage_layers(self, n_stages: int) -> List[List[int]]:
+        """Contiguous near-even split of the weight layers into stages."""
+        if not 1 <= n_stages <= self.n_layers:
+            raise ValueError(
+                f"n_stages must be in [1, {self.n_layers}], got {n_stages}"
+            )
+        base, extra = divmod(self.n_layers, n_stages)
+        stages: List[List[int]] = []
+        start = 0
+        for s in range(n_stages):
+            size = base + (1 if s < extra else 0)
+            stages.append(list(range(start, start + size)))
+            start += size
+        return stages
+
+    def stage_param_names(self, layers: Sequence[int]) -> List[str]:
+        """The parameter tensors a stage owns."""
+        return [name for i in layers for name in (f"W{i}", f"b{i}")]
+
+    def stage_forward(
+        self, params: ParameterSet, x: np.ndarray, layers: Sequence[int]
+    ) -> Tuple[np.ndarray, List[Tuple[int, np.ndarray, np.ndarray]]]:
+        """Forward through a contiguous layer slice.
+
+        Returns ``(out, cache)``; the cache holds, per layer, the layer
+        index, its input, and its post-activation output — exactly what
+        :meth:`stage_backward` needs.
+        """
+        a = np.asarray(x, dtype=np.float64)
+        cache: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for i in layers:
+            z = a @ params[f"W{i}"] + params[f"b{i}"]
+            out = np.tanh(z) if i < self.n_layers - 1 else z
+            cache.append((i, a, out))
+            a = out
+        return a, cache
+
+    def output_grad(
+        self, y_hat: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Loss and d(loss)/d(y_hat) at the network output."""
+        r = y_hat - np.asarray(y, dtype=np.float64)
+        loss = float(0.5 * np.mean(np.sum(r * r, axis=1)))
+        return loss, r / r.shape[0]
+
+    def stage_backward(
+        self,
+        params: ParameterSet,
+        cache: List[Tuple[int, np.ndarray, np.ndarray]],
+        grad_out: np.ndarray,
+        layers: Sequence[int],
+    ) -> Tuple[np.ndarray, ModelUpdate]:
+        """Backward through a stage; returns (input grad, weight grads)."""
+        if [i for i, _, _ in cache] != list(layers):
+            raise ValueError("cache does not match the stage's layers")
+        deltas: Dict[str, SparseDelta] = {}
+        grad = np.asarray(grad_out, dtype=np.float64)
+        for i, a_in, a_out in reversed(cache):
+            if i < self.n_layers - 1:  # tanh'(z) = 1 - tanh(z)^2
+                dz = grad * (1.0 - a_out * a_out)
+            else:  # linear output layer
+                dz = grad
+            deltas[f"W{i}"] = SparseDelta.from_dense(a_in.T @ dz)
+            deltas[f"b{i}"] = SparseDelta.from_dense(dz.sum(axis=0))
+            grad = dz @ params[f"W{i}"].T
+        return grad, ModelUpdate(deltas)
+
+    # -- cost model --------------------------------------------------------
+
+    def _stage_macs(self, n: int, layers: Sequence[int]) -> float:
+        return float(n) * sum(
+            self.layer_sizes[i] * self.layer_sizes[i + 1] for i in layers
+        )
+
+    def stage_fwd_flops(self, n: int, layers: Sequence[int]) -> float:
+        """One stage forward pass on ``n`` samples (2 flops per MAC)."""
+        return 2.0 * self._stage_macs(n, layers)
+
+    def stage_bwd_flops(self, n: int, layers: Sequence[int]) -> float:
+        """One stage backward pass: grads w.r.t. weights AND inputs."""
+        return 4.0 * self._stage_macs(n, layers)
+
+    def sparse_step_flops(self, batch) -> float:
+        # Dense model: no sparsity to exploit — both kernel styles cost
+        # the full fwd+bwd sweep.
+        all_layers = list(range(self.n_layers))
+        return self.stage_fwd_flops(batch.n, all_layers) + self.stage_bwd_flops(
+            batch.n, all_layers
+        )
+
+    def dense_step_flops(self, batch) -> float:
+        return self.sparse_step_flops(batch)
+
+    def dense_gradient_bytes(self) -> int:
+        n_params = sum(
+            self.layer_sizes[i] * self.layer_sizes[i + 1] + self.layer_sizes[i + 1]
+            for i in range(self.n_layers)
+        )
+        return n_params * 8
+
+    def sparse_entries(self, batch) -> int:
+        return 0  # fully dense inputs: nothing to gather/scatter
+
+    def __repr__(self) -> str:
+        arch = "x".join(str(s) for s in self.layer_sizes)
+        return f"<LayeredMLP {arch}>"

@@ -89,7 +89,12 @@ def _run_single_job(spec: ScenarioSpec, payload: Dict[str, Any],
         if progress is not None:
             progress(
                 f"[{spec.name}] {wl.name} on {wl.backend}: "
-                f"workers={workers} isp_threshold={v}"
+                f"workers={workers} isp_threshold={v} sync={wl.sync}"
+                + (
+                    f" stages={wl.stages} micro_batches={wl.micro_batches}"
+                    if wl.kind == "mlp-pipeline"
+                    else ""
+                )
             )
         config = mlless_config(
             workload,
@@ -100,6 +105,16 @@ def _run_single_job(spec: ScenarioSpec, payload: Dict[str, Any],
             max_steps=wl.max_steps,
             seed=spec.seed,
             faults=profile,
+            # Adaptive owns its own straggler response; the spec layer
+            # already rejects crash rates for non-BSP syncs.
+            fault_tolerance=(
+                False if wl.sync != "bsp" and profile is not None else None
+            ),
+            sync=wl.sync,
+            pipeline_stages=wl.stages if wl.kind == "mlp-pipeline" else 1,
+            micro_batches=(
+                wl.micro_batches if wl.kind == "mlp-pipeline" else 1
+            ),
         )
         tracer = None
         if wl.backend == "sim":
@@ -130,11 +145,15 @@ def _single_run_row(spec: ScenarioSpec, result, tracer,
         "workers": workers,
         "isp_threshold": v,
         "backend": wl.backend,
+        "sync": wl.sync,
         "exec_time_s": result.exec_time,
         "converged": result.converged,
         "final_loss": result.final_loss,
         "steps": result.total_steps,
     }
+    if wl.kind == "mlp-pipeline":
+        row["stages"] = wl.stages
+        row["micro_batches"] = wl.micro_batches
     if wl.backend == "sim":
         row["wall_time_s"] = result.wall_time
         row["total_cost_usd"] = result.total_cost

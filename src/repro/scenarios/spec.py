@@ -45,10 +45,14 @@ __all__ = [
     "spec_from_dict",
     "KINDS",
     "BACKENDS",
+    "WORKLOAD_KINDS",
+    "SYNC_MODES",
 ]
 
 KINDS = ("single-job", "platform")
 BACKENDS = ("sim", "local", "procs")
+WORKLOAD_KINDS = ("data-parallel", "mlp-pipeline")
+SYNC_MODES = ("bsp", "ssp", "adaptive")
 
 #: hard cap on sweep grids so a typo cannot schedule a thousand runs
 MAX_SWEEP_COMBOS = 64
@@ -248,12 +252,22 @@ class WorkloadSpec:
     name: str
     workers: int = 4
     backend: str = "sim"
+    #: "data-parallel" (the default) or "mlp-pipeline" (model-parallel
+    #: stage functions; requires a stageable workload)
+    kind: str = "data-parallel"
+    #: synchronization policy: "bsp", "ssp" or "adaptive" (SMLT-style
+    #: mid-job switching)
+    sync: str = "bsp"
     #: ISP significance threshold v (0 = plain BSP)
     isp_threshold: float = 0.0
     autotune: bool = False
     max_steps: int = 100
     #: None = the workload's published target
     target_loss: Optional[float] = None
+    #: mlp-pipeline only: stage count (must equal ``workers``)
+    stages: int = 1
+    #: mlp-pipeline only: micro-batches kept in flight per step
+    micro_batches: int = 1
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], path: str = "workload") -> "WorkloadSpec":
@@ -263,10 +277,14 @@ class WorkloadSpec:
             name=name,
             workers=reader.take_int("workers", 4, minimum=1),
             backend=reader.take_str("backend", "sim", choices=BACKENDS),
+            kind=reader.take_str("kind", "data-parallel", choices=WORKLOAD_KINDS),
+            sync=reader.take_str("sync", "bsp", choices=SYNC_MODES),
             isp_threshold=reader.take_float("isp_threshold", 0.0, minimum=0.0),
             autotune=reader.take_bool("autotune", False),
             max_steps=reader.take_int("max_steps", 100, minimum=1),
             target_loss=reader.take_float("target_loss", None, minimum=0.0),
+            stages=reader.take_int("stages", 1, minimum=1),
+            micro_batches=reader.take_int("micro_batches", 1, minimum=1),
         )
         reader.finish()
         return spec
@@ -276,12 +294,17 @@ class WorkloadSpec:
             "name": self.name,
             "workers": self.workers,
             "backend": self.backend,
+            "kind": self.kind,
+            "sync": self.sync,
             "isp_threshold": self.isp_threshold,
             "autotune": self.autotune,
             "max_steps": self.max_steps,
         }
         if self.target_loss is not None:
             out["target_loss"] = self.target_loss
+        if self.kind == "mlp-pipeline":
+            out["stages"] = self.stages
+            out["micro_batches"] = self.micro_batches
         return out
 
 
@@ -800,6 +823,81 @@ def _cross_validate(spec: ScenarioSpec) -> None:
             if getattr(spec, key) is not None:
                 raise SpecError(
                     key, "is a platform section; not allowed for 'single-job'"
+                )
+        wl = spec.workload
+        if wl.kind == "mlp-pipeline":
+            if not hasattr(WORKLOADS[wl.name]().make_model(), "stage_layers"):
+                raise SpecError(
+                    "workload.kind",
+                    f"workload {wl.name!r} is not stageable; "
+                    "'mlp-pipeline' needs a layered model (mlp-synth)",
+                )
+            if wl.stages < 2:
+                raise SpecError(
+                    "workload.stages",
+                    f"must be >= 2 for kind = 'mlp-pipeline', got {wl.stages}",
+                )
+            if wl.workers != wl.stages:
+                raise SpecError(
+                    "workload.workers",
+                    "pipeline mode runs one stage per worker function: "
+                    f"set workers = stages ({wl.stages}), got {wl.workers}",
+                )
+            if wl.sync != "bsp":
+                raise SpecError(
+                    "workload.sync",
+                    "pipeline stages synchronize through the barrier; "
+                    f"sync must be 'bsp', got {wl.sync!r}",
+                )
+            if wl.isp_threshold != 0.0:
+                raise SpecError(
+                    "workload.isp_threshold",
+                    "the significance filter is data-parallel-only; "
+                    "must be 0 for kind = 'mlp-pipeline'",
+                )
+            if wl.autotune:
+                raise SpecError(
+                    "workload.autotune",
+                    "a pipeline cannot scale in; must be false",
+                )
+            if spec.faults is not None:
+                raise SpecError(
+                    "faults", "not supported with kind = 'mlp-pipeline'"
+                )
+            if spec.sweep is not None:
+                raise SpecError(
+                    "sweep", "not supported with kind = 'mlp-pipeline'"
+                )
+            if wl.backend == "procs":
+                raise SpecError(
+                    "workload.backend",
+                    "the procs backend does not run pipeline stages; "
+                    "use 'sim' or 'local'",
+                )
+        elif wl.stages != 1 or wl.micro_batches != 1:
+            raise SpecError(
+                "workload.stages",
+                "stages/micro_batches only apply to kind = 'mlp-pipeline'",
+            )
+        if wl.sync != "bsp":
+            if wl.autotune:
+                raise SpecError(
+                    "workload.autotune",
+                    f"the scale-in auto-tuner requires sync = 'bsp', "
+                    f"got {wl.sync!r}",
+                )
+            if wl.isp_threshold != 0.0:
+                raise SpecError(
+                    "workload.isp_threshold",
+                    f"must be 0 for sync = {wl.sync!r} (ISP rides the "
+                    "BSP barrier)",
+                )
+            if spec.faults is not None and spec.faults.to_profile(
+                spec.name
+            ).crash_rate > 0.0:
+                raise SpecError(
+                    "faults",
+                    f"crash recovery requires sync = 'bsp', got {wl.sync!r}",
                 )
         backend = spec.workload.backend
         if backend != "sim":

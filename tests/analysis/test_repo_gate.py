@@ -118,7 +118,7 @@ def test_injected_cross_module_violations_are_caught(repo_paths, tmp_path):
     assert "yield sv.mq_publish(runtime.supervisor_queue, report)" in source
     source = source.replace(
         "yield sv.mq_publish(runtime.supervisor_queue, report)",
-        "yield 42\n            yield sv.mq_publish(runtime.supervisor_queue, report)",
+        "yield 42\n        yield sv.mq_publish(runtime.supervisor_queue, report)",
         1,
     )
     worker.write_text("import threading  # noqa: F401\n" + source)

@@ -11,8 +11,15 @@ import numpy as np
 import pytest
 
 from repro import JobConfig, run_mlless
-from repro.ml.data import CriteoSpec, MovieLensSpec, criteo_like, movielens_like
-from repro.ml.models import PMF, LogisticRegression
+from repro.ml.data import (
+    CriteoSpec,
+    MLPSpec,
+    MovieLensSpec,
+    criteo_like,
+    mlp_synth,
+    movielens_like,
+)
+from repro.ml.models import PMF, LayeredMLP, LogisticRegression
 from repro.ml.optim import Adam, InverseSqrtLR, MomentumSGD
 
 #: worker math is identical; supervisor-side mean-loss aggregation may
@@ -66,11 +73,37 @@ def test_pmf_sim_and_local_reach_same_final_loss():
     np.testing.assert_allclose(local_losses, sim_losses, atol=LOSS_TOL)
 
 
+def mlp_config():
+    spec = MLPSpec(n_samples=2_000, n_features=16, hidden=(12,), batch_size=250)
+    return JobConfig(
+        model=LayeredMLP([spec.n_features, 16, 8, spec.n_outputs]),
+        make_optimizer=lambda: Adam(lr=0.01),
+        dataset=mlp_synth(spec, seed=4),
+        n_workers=2,
+        significance_v=0.0,
+        target_loss=None,
+        max_steps=15,
+        seed=2,
+    )
+
+
 def test_lr_sim_and_local_reach_same_final_loss():
     sim = run_mlless(lr_config())
     local = run_mlless(lr_config(), backend="local")
     assert sim.total_steps == local.total_steps == 15
     assert local.final_loss == pytest.approx(sim.final_loss, abs=LOSS_TOL)
+
+
+def test_mlp_sim_and_local_reach_same_final_loss():
+    # Dense data parallelism: both workers hold the full LayeredMLP and
+    # exchange dense deltas through the barrier, same as the sparse jobs.
+    sim = run_mlless(mlp_config())
+    local = run_mlless(mlp_config(), backend="local")
+    assert sim.total_steps == local.total_steps == 15
+    assert local.final_loss == pytest.approx(sim.final_loss, abs=LOSS_TOL)
+    _, sim_losses = sim.monitor.series("loss_by_step").as_arrays()
+    _, local_losses = local.monitor.series("loss_by_step").as_arrays()
+    np.testing.assert_allclose(local_losses, sim_losses, atol=LOSS_TOL)
 
 
 def test_local_run_reports_genuine_wall_clock():

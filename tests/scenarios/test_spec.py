@@ -51,8 +51,9 @@ class TestExactMessages:
         msg, _ = err(minimal_single_job(workload={"name": "pmf-ml10m", "foo": 1}))
         assert msg == (
             "workload.foo: unknown key (expected one of "
-            "['autotune', 'backend', 'isp_threshold', 'max_steps', "
-            "'name', 'target_loss', 'workers'])"
+            "['autotune', 'backend', 'isp_threshold', 'kind', "
+            "'max_steps', 'micro_batches', 'name', 'stages', 'sync', "
+            "'target_loss', 'workers'])"
         )
 
     def test_negative_fault_rate(self):
@@ -216,6 +217,134 @@ class TestCrossValidation:
         assert msg == (
             "report.critical_path: only applies to kind = 'single-job'"
         )
+
+
+# -- pipeline + sync-mode validation -----------------------------------------
+
+
+def pipeline_workload(**overrides):
+    data = {
+        "name": "mlp-synth",
+        "kind": "mlp-pipeline",
+        "workers": 3,
+        "stages": 3,
+        "micro_batches": 4,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestPipelineValidation:
+    def test_valid_pipeline_spec_parses(self):
+        spec = spec_from_dict(minimal_single_job(workload=pipeline_workload()))
+        wl = spec.workload
+        assert (wl.kind, wl.stages, wl.micro_batches) == ("mlp-pipeline", 3, 4)
+        assert spec.deterministic
+
+    def test_pipeline_requires_stageable_workload(self):
+        msg, path = err(
+            minimal_single_job(workload=pipeline_workload(name="pmf-ml10m"))
+        )
+        assert path == "workload.kind"
+        assert "not stageable" in msg
+
+    def test_pipeline_needs_two_stages(self):
+        msg, _ = err(minimal_single_job(
+            workload=pipeline_workload(stages=1, workers=1)
+        ))
+        assert msg == "workload.stages: must be >= 2 for kind = 'mlp-pipeline', got 1"
+
+    def test_pipeline_workers_must_equal_stages(self):
+        msg, path = err(minimal_single_job(workload=pipeline_workload(workers=4)))
+        assert path == "workload.workers"
+        assert "set workers = stages (3), got 4" in msg
+
+    def test_pipeline_requires_bsp(self):
+        msg, _ = err(minimal_single_job(workload=pipeline_workload(sync="ssp")))
+        assert "sync must be 'bsp', got 'ssp'" in msg
+
+    def test_pipeline_rejects_isp_filter(self):
+        msg, path = err(
+            minimal_single_job(workload=pipeline_workload(isp_threshold=0.5))
+        )
+        assert path == "workload.isp_threshold"
+        assert "data-parallel-only" in msg
+
+    def test_pipeline_rejects_autotune(self):
+        msg, _ = err(minimal_single_job(workload=pipeline_workload(autotune=True)))
+        assert msg == "workload.autotune: a pipeline cannot scale in; must be false"
+
+    def test_pipeline_rejects_faults_and_sweep(self):
+        msg, path = err(minimal_single_job(workload=pipeline_workload(),
+                                           faults={"crash_rate": 0.1}))
+        assert (path, msg) == ("faults",
+                              "faults: not supported with kind = 'mlp-pipeline'")
+        msg, path = err(minimal_single_job(workload=pipeline_workload(),
+                                           sweep={"workers": [2, 4]}))
+        assert (path, msg) == ("sweep",
+                              "sweep: not supported with kind = 'mlp-pipeline'")
+
+    def test_pipeline_rejects_procs_backend(self):
+        msg, path = err(
+            minimal_single_job(workload=pipeline_workload(backend="procs"))
+        )
+        assert path == "workload.backend"
+        assert "use 'sim' or 'local'" in msg
+
+    def test_stages_are_pipeline_only(self):
+        msg, path = err(
+            minimal_single_job(workload={"name": "pmf-ml10m", "stages": 2})
+        )
+        assert path == "workload.stages"
+        assert msg.endswith("stages/micro_batches only apply to kind = 'mlp-pipeline'")
+
+    def test_pipeline_round_trip_keeps_stage_fields(self):
+        spec = spec_from_dict(minimal_single_job(workload=pipeline_workload()))
+        dumped = spec.to_dict()
+        assert dumped["workload"]["stages"] == 3
+        assert dumped["workload"]["micro_batches"] == 4
+        assert spec_from_dict(dumped) == spec
+
+    def test_data_parallel_dump_omits_stage_fields(self):
+        dumped = spec_from_dict(minimal_single_job()).to_dict()
+        assert "stages" not in dumped["workload"]
+        assert "micro_batches" not in dumped["workload"]
+
+
+class TestSyncModeValidation:
+    def test_ssp_and_adaptive_parse(self):
+        for sync in ("ssp", "adaptive"):
+            spec = spec_from_dict(
+                minimal_single_job(workload={"name": "pmf-ml10m", "sync": sync})
+            )
+            assert spec.workload.sync == sync
+
+    def test_non_bsp_rejects_autotune(self):
+        msg, path = err(minimal_single_job(
+            workload={"name": "pmf-ml10m", "sync": "adaptive", "autotune": True}
+        ))
+        assert path == "workload.autotune"
+        assert "requires sync = 'bsp'" in msg
+
+    def test_non_bsp_rejects_isp_threshold(self):
+        msg, path = err(minimal_single_job(
+            workload={"name": "pmf-ml10m", "sync": "ssp", "isp_threshold": 0.5}
+        ))
+        assert path == "workload.isp_threshold"
+        assert "ISP rides the" in msg
+
+    def test_non_bsp_rejects_crash_faults_but_allows_stragglers(self):
+        msg, path = err(minimal_single_job(
+            workload={"name": "pmf-ml10m", "sync": "adaptive"},
+            faults={"crash_rate": 0.1},
+        ))
+        assert path == "faults"
+        assert "crash recovery requires sync = 'bsp'" in msg
+        spec = spec_from_dict(minimal_single_job(
+            workload={"name": "pmf-ml10m", "sync": "adaptive"},
+            faults={"straggler_rate": 0.3},
+        ))
+        assert spec.faults.to_profile("t").crash_rate == 0.0
 
 
 # -- determinism flag --------------------------------------------------------

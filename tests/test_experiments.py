@@ -8,8 +8,8 @@ from repro.ml.models import LogisticRegression, PMF
 from repro.ml.optim import Adam, MomentumSGD
 
 
-def test_registry_has_the_three_table1_workloads():
-    assert set(WORKLOADS) == {"lr-criteo", "pmf-ml10m", "pmf-ml20m"}
+def test_registry_has_the_table1_workloads_plus_mlp():
+    assert set(WORKLOADS) == {"lr-criteo", "pmf-ml10m", "pmf-ml20m", "mlp-synth"}
 
 
 def test_lr_workload_matches_table1():

@@ -1,0 +1,161 @@
+"""LayeredMLP unit tests: stage partitioning, stage math, micro-batching.
+
+The model's contract with the pipeline (repro.core.pipeline) is that
+chaining the stage primitives over any contiguous partition reproduces
+the data-parallel ``gradient()`` exactly — same float ops in the same
+order, so the comparison is bit-level, not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import DenseBatch, MLPSpec, mlp_synth
+from repro.ml.models import LayeredMLP
+
+
+def small_model():
+    # 4 weight layers: partitionable into 1..4 stages
+    return LayeredMLP([6, 8, 5, 3, 1])
+
+
+def small_batch(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return DenseBatch(rng.standard_normal((n, 6)), rng.standard_normal((n, 1)))
+
+
+# -- construction and partitioning -------------------------------------------
+
+
+def test_constructor_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        LayeredMLP([4])
+    with pytest.raises(ValueError):
+        LayeredMLP([4, 0, 1])
+
+
+def test_stage_layers_contiguous_near_even():
+    model = small_model()
+    assert model.n_layers == 4
+    assert model.stage_layers(1) == [[0, 1, 2, 3]]
+    assert model.stage_layers(2) == [[0, 1], [2, 3]]
+    assert model.stage_layers(3) == [[0, 1], [2], [3]]
+    assert model.stage_layers(4) == [[0], [1], [2], [3]]
+
+
+def test_stage_layers_rejects_bad_depth():
+    model = small_model()
+    with pytest.raises(ValueError):
+        model.stage_layers(0)
+    with pytest.raises(ValueError):
+        model.stage_layers(5)  # more stages than weight layers
+
+
+def test_stage_param_names_cover_all_params_exactly_once():
+    model = small_model()
+    stages = model.stage_layers(3)
+    names = [n for layers in stages for n in model.stage_param_names(layers)]
+    assert sorted(names) == sorted(
+        f"{kind}{i}" for i in range(model.n_layers) for kind in ("W", "b")
+    )
+    assert len(names) == len(set(names))
+
+
+def test_init_params_shapes_and_zero_biases():
+    model = small_model()
+    params = model.init_params(np.random.default_rng(1))
+    for i, (fan_in, fan_out) in enumerate(zip([6, 8, 5, 3], [8, 5, 3, 1])):
+        assert params[f"W{i}"].shape == (fan_in, fan_out)
+        np.testing.assert_array_equal(params[f"b{i}"], np.zeros(fan_out))
+
+
+# -- stage math == data-parallel math ----------------------------------------
+
+
+@pytest.mark.parametrize("n_stages", [1, 2, 3, 4])
+def test_gradient_equals_stage_composition(n_stages):
+    model = small_model()
+    params = model.init_params(np.random.default_rng(2))
+    batch = small_batch()
+    dp_loss, dp_update = model.gradient(params, batch)
+
+    stages = model.stage_layers(n_stages)
+    # forward through the stages in order, caching per stage
+    act, caches = batch.x, []
+    for layers in stages:
+        act, cache = model.stage_forward(params, act, layers)
+        caches.append(cache)
+    loss, grad = model.output_grad(act, batch.y)
+    # backward through the stages in reverse, collecting per-stage grads
+    deltas = {}
+    for layers, cache in zip(reversed(stages), reversed(caches)):
+        grad, update = model.stage_backward(params, cache, grad, layers)
+        deltas.update(dict(update))
+
+    assert loss == dp_loss
+    assert sorted(deltas) == dp_update.names
+    for name, delta in deltas.items():
+        np.testing.assert_array_equal(delta.indices, dp_update[name].indices)
+        np.testing.assert_array_equal(delta.values, dp_update[name].values)
+
+
+def test_output_grad_loss_matches_loss_method():
+    model = small_model()
+    params = model.init_params(np.random.default_rng(3))
+    batch = small_batch(seed=4)
+    out, _ = model.stage_forward(params, batch.x, list(range(model.n_layers)))
+    loss, _ = model.output_grad(out, batch.y)
+    assert loss == model.loss(params, batch)
+
+
+def test_stage_backward_rejects_mismatched_cache():
+    model = small_model()
+    params = model.init_params(np.random.default_rng(5))
+    batch = small_batch()
+    _, cache = model.stage_forward(params, batch.x, [0, 1])
+    with pytest.raises(ValueError, match="cache does not match"):
+        model.stage_backward(params, cache, np.zeros((batch.n, 3)), [2, 3])
+
+
+def test_flops_scale_with_rows_and_layers():
+    model = small_model()
+    assert model.stage_fwd_flops(10, [0]) == 2 * 10 * 6 * 8
+    assert model.stage_bwd_flops(10, [0]) == 2 * model.stage_fwd_flops(10, [0])
+    all_layers = list(range(model.n_layers))
+    total = model.stage_fwd_flops(7, all_layers) + model.stage_bwd_flops(7, all_layers)
+    assert model.sparse_step_flops(small_batch(n=7)) == total
+
+
+# -- micro-batch splitting ---------------------------------------------------
+
+
+def test_micro_split_partitions_rows_in_order():
+    batch = small_batch(n=10)
+    parts = batch.micro_split(3)
+    assert [p.n for p in parts] == [4, 3, 3]
+    np.testing.assert_array_equal(np.vstack([p.x for p in parts]), batch.x)
+    np.testing.assert_array_equal(np.vstack([p.y for p in parts]), batch.y)
+
+
+def test_micro_split_bounds():
+    batch = small_batch(n=4)
+    assert len(batch.micro_split(1)) == 1
+    assert len(batch.micro_split(4)) == 4
+    with pytest.raises(ValueError):
+        batch.micro_split(0)
+    with pytest.raises(ValueError):
+        batch.micro_split(5)
+
+
+# -- synthetic dataset -------------------------------------------------------
+
+
+def test_mlp_synth_is_deterministic_and_shaped():
+    spec = MLPSpec(n_samples=1_000, n_features=8, hidden=(6,), batch_size=250)
+    a = mlp_synth(spec, seed=9)
+    b = mlp_synth(spec, seed=9)
+    assert len(a) == 4
+    assert a.name == "mlp-synth-1000"
+    for ba, bb in zip(a, b):
+        assert ba.x.shape == (250, 8) and ba.y.shape == (250, 1)
+        np.testing.assert_array_equal(ba.x, bb.x)
+        np.testing.assert_array_equal(ba.y, bb.y)

@@ -1,0 +1,187 @@
+"""Unit tests for the sync-policy objects and the adaptive controller."""
+
+import pytest
+
+from repro.core import AdaptiveConfig, AdaptiveController, JobConfig
+from repro.core.policies import (
+    BARRIER,
+    GOSSIP,
+    SCALE_ACTIVE,
+    SCALE_CONFIGURED,
+    gossip_policy,
+    resolve_policy,
+)
+from repro.ml.data import MLPSpec, mlp_synth
+from repro.ml.models import LayeredMLP
+from repro.ml.optim import Adam
+
+
+def config(**overrides):
+    spec = MLPSpec(n_samples=400, n_features=4, hidden=(4,), batch_size=100)
+    kwargs = dict(
+        model=LayeredMLP([4, 4, 1]),
+        make_optimizer=lambda: Adam(lr=0.01),
+        dataset=mlp_synth(spec, seed=1),
+        n_workers=2,
+        max_steps=5,
+    )
+    kwargs.update(overrides)
+    return JobConfig(**kwargs)
+
+
+# -- resolve_policy ----------------------------------------------------------
+
+
+def test_bsp_policy():
+    policy = resolve_policy(config(sync="bsp"))
+    assert policy.name == "bsp"
+    assert policy.family == BARRIER
+    assert policy.traced_steps
+    assert policy.staleness == 0
+    assert policy.scale_mode == SCALE_ACTIVE
+
+
+def test_isp_is_bsp_with_significance():
+    assert resolve_policy(config(significance_v=0.5)).name == "isp"
+
+
+def test_ssp_policy():
+    policy = resolve_policy(config(sync="ssp", ssp_staleness=3))
+    assert policy.name == "ssp"
+    assert policy.family == GOSSIP
+    assert not policy.traced_steps
+    assert policy.staleness == 3
+    assert policy.scale_mode == SCALE_CONFIGURED
+
+
+def test_adaptive_starts_under_the_barrier_then_hops_to_gossip():
+    cfg = config(sync="adaptive", ssp_staleness=2)
+    start = resolve_policy(cfg)
+    assert (start.name, start.family) == ("adaptive", BARRIER)
+    hopped = gossip_policy(cfg)
+    assert (hopped.name, hopped.family) == ("adaptive", GOSSIP)
+    assert hopped.staleness == 2
+    # unlike plain SSP, the hopped policy keeps averaging over the pool
+    # that actually remains after barrier-phase evictions
+    assert hopped.scale_mode == SCALE_ACTIVE
+
+
+# -- AdaptiveConfig validation -----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"warmup_steps": -1},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"skew_threshold": 0.0},
+        {"patience": 0},
+        {"evict_patience": 0},
+        {"min_pool": 0},
+        {"max_evictions": -1},
+        {"cooldown_steps": -1},
+    ],
+)
+def test_adaptive_config_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        AdaptiveConfig(**kwargs)
+
+
+# -- AdaptiveController ------------------------------------------------------
+
+
+def controller(**overrides):
+    kwargs = dict(
+        warmup_steps=0,
+        ewma_alpha=1.0,
+        skew_threshold=0.5,
+        patience=2,
+        evict_patience=2,
+        min_pool=2,
+        max_evictions=1,
+        cooldown_steps=2,
+    )
+    kwargs.update(overrides)
+    return AdaptiveController(AdaptiveConfig(**kwargs), n_workers=3)
+
+
+def barrier(ctrl, step, now, arrivals, active=(0, 1, 2)):
+    """Feed one barrier's reports then close it."""
+    for worker, at in arrivals.items():
+        ctrl.note_report(step, worker, at)
+    return ctrl.observe_barrier(step, now, list(active))
+
+
+def test_first_barrier_never_decides():
+    ctrl = controller()
+    # no previous barrier to measure a duration against
+    assert barrier(ctrl, 0, 1.0, {0: 0.1, 1: 0.9}).action == "none"
+
+
+def test_diffuse_skew_switches_after_patience():
+    ctrl = controller()
+    barrier(ctrl, 0, 1.0, {0: 0.1, 1: 0.9})
+    # the straggler alternates, so no single worker builds an evict streak
+    assert barrier(ctrl, 1, 2.0, {0: 1.2, 1: 1.9}).action == "none"
+    decision = barrier(ctrl, 2, 3.0, {1: 2.2, 0: 2.9})
+    assert decision.action == "switch"
+    assert "skew ratio" in decision.reason
+    assert ctrl.decisions == [decision]
+
+
+def test_balanced_barriers_never_switch():
+    ctrl = controller()
+    for step in range(6):
+        decision = barrier(
+            ctrl, step, float(step + 1),
+            {0: step + 0.50, 1: step + 0.52},
+        )
+        assert decision.action == "none"
+    assert ctrl.decisions == []
+
+
+def test_persistent_straggler_is_evicted_then_cooldown_holds():
+    ctrl = controller(patience=10)
+    barrier(ctrl, 0, 1.0, {0: 0.1, 1: 0.9, 2: 0.2})
+    assert barrier(ctrl, 1, 2.0, {0: 1.1, 1: 1.9, 2: 1.2}).action == "none"
+    decision = barrier(ctrl, 2, 3.0, {0: 2.1, 1: 2.9, 2: 2.2})
+    assert decision.action == "evict"
+    assert decision.victim == 1
+    # eviction budget is spent and the cooldown suppresses reactions
+    assert barrier(ctrl, 3, 4.0, {0: 3.1, 2: 3.9}, active=(0, 2)).action == "none"
+
+
+def test_warmup_suppresses_decisions():
+    ctrl = controller(warmup_steps=10)
+    for step in range(8):
+        assert barrier(
+            ctrl, step, float(step + 1),
+            {0: step + 0.1, 1: step + 0.9},
+        ).action == "none"
+
+
+def test_min_pool_blocks_eviction_and_escalates_to_switch():
+    ctrl = controller(min_pool=2, patience=3)
+    barrier(ctrl, 0, 1.0, {0: 0.1, 1: 0.9}, active=(0, 1))
+    barrier(ctrl, 1, 2.0, {0: 1.1, 1: 1.9}, active=(0, 1))
+    # worker 1 has straggled for evict_patience barriers, but the pool is
+    # already at the floor: the controller escalates to a sync switch.
+    barrier(ctrl, 2, 3.0, {0: 2.1, 1: 2.9}, active=(0, 1))
+    decision = barrier(ctrl, 3, 4.0, {0: 3.1, 1: 3.9}, active=(0, 1))
+    assert [d.action for d in ctrl.decisions] == ["switch"]
+    assert decision.action == "switch"
+
+
+def test_clone_is_independent():
+    ctrl = controller()
+    barrier(ctrl, 0, 1.0, {0: 0.1, 1: 0.9})
+    dup = ctrl.clone()
+    barrier(ctrl, 1, 2.0, {0: 1.2, 1: 1.9})
+    barrier(ctrl, 2, 3.0, {1: 2.2, 0: 2.9})
+    assert [d.action for d in ctrl.decisions] == ["switch"]
+    assert dup.decisions == []
+    # the clone replays the same future independently
+    barrier(dup, 1, 2.0, {0: 1.2, 1: 1.9})
+    barrier(dup, 2, 3.0, {1: 2.2, 0: 2.9})
+    assert [d.action for d in dup.decisions] == ["switch"]
